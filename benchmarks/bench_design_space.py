@@ -1,0 +1,30 @@
+"""CSD cost/quality trade-off of the lowpass design (FIRGEN-style).
+
+Sweeps the digit budget and coefficient precision and reports the
+realized operator count against the achieved stopband — the trade the
+paper's reduced-complexity designs (refs [6-8]) sit on.  The reference
+designs' operating point (budget 4, 15 bits) should buy > 15 dB of
+stopband over budget 1 at roughly twice the operators.
+"""
+
+from repro.experiments.render import ascii_table
+from repro.filters import LOWPASS_SPEC, explore_design_space
+
+
+def test_design_space(benchmark, emit):
+    def run():
+        return explore_design_space(LOWPASS_SPEC, budgets=(1, 2, 3, 4),
+                                    fracs=(12, 15))
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = ascii_table(
+        ["digits", "coef bits", "operators", "stopband dB", "ripple dB"],
+        [p.row() for p in points],
+        title="CSD design space, lowpass spec",
+    )
+    emit("design_space", text)
+    by_key = {(p.max_nonzeros, p.coef_frac): p for p in points}
+    ref = by_key[(4, 15)]
+    cheap = by_key[(1, 15)]
+    assert ref.stopband_db > cheap.stopband_db + 15.0
+    assert ref.adders > cheap.adders

@@ -1,0 +1,42 @@
+"""Raw throughput of the core machinery (uncached, honest timings):
+
+* full-universe fault coverage of the lowpass design, 4k vectors;
+* bit-true datapath simulation alone;
+* fault universe construction (incl. structural pruning).
+"""
+
+import numpy as np
+
+from repro.faultsim import build_fault_universe, run_fault_coverage
+from repro.generators import DecorrelatedLfsr
+from repro.rtl import simulate
+
+
+def test_fault_coverage_throughput(benchmark, ctx):
+    design = ctx.designs["LP"]
+    universe = ctx.universe("LP")
+
+    def run():
+        return run_fault_coverage(design, DecorrelatedLfsr(12), 4096,
+                                  universe=universe)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.universe.fault_count > 50_000
+
+
+def test_datapath_simulation_throughput(benchmark, ctx):
+    design = ctx.designs["LP"]
+    rng = np.random.default_rng(0)
+    raw = rng.integers(-2048, 2048, size=4096)
+
+    result = benchmark.pedantic(
+        lambda: simulate(design.graph, raw), rounds=5, iterations=1)
+    assert result.length == 4096
+
+
+def test_universe_construction(benchmark, ctx):
+    design = ctx.designs["LP"]
+    uni = benchmark.pedantic(
+        lambda: build_fault_universe(design.graph, name="LP"),
+        rounds=3, iterations=1)
+    assert uni.untestable_count > 0

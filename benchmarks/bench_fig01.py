@@ -1,0 +1,9 @@
+"""Figure 1 — test zones over a primary-input density."""
+
+from repro.experiments import figure1
+
+
+def test_figure1(benchmark, emit):
+    result = benchmark.pedantic(figure1, rounds=1, iterations=1)
+    emit("figure01", result.render())
+    assert "T5b" in result.text

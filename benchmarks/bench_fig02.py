@@ -1,0 +1,10 @@
+"""Figure 2 — the serious missed fault's spike train on a sine response."""
+
+from repro.experiments import figure2
+
+
+def test_figure2(benchmark, ctx, emit):
+    result = benchmark.pedantic(figure2, args=(ctx,), rounds=1, iterations=1)
+    emit("figure02", result.render())
+    assert result.scalars["error samples"] >= 2
+    assert result.scalars["peak |error|"] > 0.01

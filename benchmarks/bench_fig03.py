@@ -1,0 +1,9 @@
+"""Figure 3 — location of the serious missed fault."""
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark, ctx, emit):
+    result = benchmark.pedantic(figure3, args=(ctx,), rounds=1, iterations=1)
+    emit("figure03", result.render())
+    assert 1 <= result.scalars["bits_below_msb"] <= 4

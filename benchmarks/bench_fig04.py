@@ -1,0 +1,14 @@
+"""Figure 4 — power spectra of the five test generators."""
+
+import numpy as np
+
+from repro.experiments import figure4
+
+
+def test_figure4(benchmark, ctx, emit):
+    result = benchmark.pedantic(figure4, args=(ctx,), rounds=1, iterations=1)
+    emit("figure04", result.render())
+    spectra = {k.split(" ")[0]: y for k, (x, y) in result.series.items()}
+    # dB shapes: LFSR-1 rolls off at the left, Ramp falls off to the right
+    assert spectra["LFSR-1"][0] < spectra["LFSR-1"][30] - 10
+    assert spectra["Ramp"][0] > spectra["Ramp"][30] + 20

@@ -1,0 +1,9 @@
+"""Figure 5 — a segment of the Type 1 LFSR test sequence."""
+
+from repro.experiments import figure5
+
+
+def test_figure5(benchmark, ctx, emit):
+    result = benchmark.pedantic(figure5, args=(ctx,), rounds=1, iterations=1)
+    emit("figure05", result.render())
+    assert abs(result.scalars["std"] - 0.577) < 0.01

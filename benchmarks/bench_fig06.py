@@ -1,0 +1,10 @@
+"""Figure 6 — attenuated LFSR-1 test signal at tap 20 of the lowpass."""
+
+from repro.experiments import figure6
+
+
+def test_figure6(benchmark, ctx, emit):
+    result = benchmark.pedantic(figure6, args=(ctx,), rounds=1, iterations=1)
+    emit("figure06", result.render())
+    assert result.scalars["std"] < 0.06  # paper: 0.036
+    assert result.scalars["untested upper bits"] >= 2

@@ -1,0 +1,13 @@
+"""Figure 7 — decorrelated test signal at tap 20 (attenuation relieved)."""
+
+from repro.experiments import figure6, figure7
+
+
+def test_figure7(benchmark, ctx, emit):
+    result = benchmark.pedantic(figure7, args=(ctx,), rounds=1, iterations=1)
+    emit("figure07", result.render())
+    f6 = figure6(ctx)
+    # paper: sigma rises 3.4x and untested upper bits shrink
+    assert result.scalars["std"] > 2.0 * f6.scalars["std"]
+    assert (result.scalars["untested upper bits"]
+            < f6.scalars["untested upper bits"])

@@ -1,0 +1,9 @@
+"""Figure 8 — predicted vs simulated tap-20 distribution (Type 1 LFSR)."""
+
+from repro.experiments import figure8
+
+
+def test_figure8(benchmark, ctx, emit):
+    result = benchmark.pedantic(figure8, args=(ctx,), rounds=1, iterations=1)
+    emit("figure08", result.render())
+    assert result.scalars["overlap coefficient"] > 0.9

@@ -1,0 +1,9 @@
+"""Figure 9 — predicted vs simulated tap-20 distribution (decorrelated)."""
+
+from repro.experiments import figure9
+
+
+def test_figure9(benchmark, ctx, emit):
+    result = benchmark.pedantic(figure9, args=(ctx,), rounds=1, iterations=1)
+    emit("figure09", result.render())
+    assert result.scalars["overlap coefficient"] > 0.9

@@ -1,0 +1,9 @@
+"""Figure 10 — fault-simulation curves, lowpass filter."""
+
+from repro.experiments import figure10
+
+
+def test_figure10(benchmark, ctx, emit):
+    result = benchmark.pedantic(figure10, args=(ctx,), rounds=1, iterations=1)
+    emit("figure10", result.render())
+    assert result.scalars["LFSR-1 final"] > result.scalars["LFSR-D final"]

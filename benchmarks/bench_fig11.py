@@ -1,0 +1,9 @@
+"""Figure 11 — fault-simulation curves, bandpass filter."""
+
+from repro.experiments import figure11
+
+
+def test_figure11(benchmark, ctx, emit):
+    result = benchmark.pedantic(figure11, args=(ctx,), rounds=1, iterations=1)
+    emit("figure11", result.render())
+    assert result.scalars["Ramp final"] > result.scalars["LFSR-D final"]

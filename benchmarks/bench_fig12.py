@@ -1,0 +1,9 @@
+"""Figure 12 — fault-simulation curves, highpass filter (Ramp worst)."""
+
+from repro.experiments import figure12
+
+
+def test_figure12(benchmark, ctx, emit):
+    result = benchmark.pedantic(figure12, args=(ctx,), rounds=1, iterations=1)
+    emit("figure12", result.render())
+    assert result.scalars["Ramp final"] > result.scalars["LFSR-1 final"]

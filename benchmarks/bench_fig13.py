@@ -1,0 +1,11 @@
+"""Figure 13 — mixed-mode scheme beats both single modes (lowpass)."""
+
+from repro.experiments import figure13
+
+
+def test_figure13(benchmark, ctx, emit):
+    result = benchmark.pedantic(figure13, args=(ctx,), rounds=1, iterations=1)
+    emit("figure13", result.render())
+    mixed_key = next(k for k in result.scalars if k.startswith("mixed"))
+    assert result.scalars[mixed_key] < result.scalars["LFSR-1 final"]
+    assert result.scalars[mixed_key] < result.scalars["LFSR-M final"]

@@ -1,0 +1,43 @@
+"""Hardware cost of the test schemes ("at little added cost").
+
+Quantifies the paper's economic argument: the mixed LFSR-1/LFSR-M scheme
+adds only an output multiplexer over a plain LFSR, while the decorrelator
+adds an XOR network and deterministic top-off adds ROM.
+"""
+
+from repro.bist import DeterministicGenerator, deterministic_sequence
+from repro.bist.cost import cost_table, cut_gate_estimate
+from repro.experiments.render import ascii_table
+from repro.generators import (
+    DecorrelatedLfsr,
+    MaxVarianceLfsr,
+    MixedModeLfsr,
+    RampGenerator,
+    Type1Lfsr,
+)
+
+
+def test_scheme_costs(benchmark, ctx, emit):
+    design = ctx.designs["LP"]
+
+    def run():
+        nodes = [design.taps[20].operators[0]]
+        rom = DeterministicGenerator(
+            deterministic_sequence(design, nodes), width=12,
+            name="Deterministic (1 target)")
+        gens = [Type1Lfsr(12), DecorrelatedLfsr(12), MaxVarianceLfsr(12),
+                MixedModeLfsr(12, 2048), RampGenerator(12), rom]
+        return cost_table(design, gens), cut_gate_estimate(design)
+
+    (rows, cut_size) = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = ascii_table(
+        ["scheme", "dff", "gates", "ROM words", "overhead %"], rows,
+        title=f"Test-scheme hardware cost (CUT ~ {cut_size} gate equivalents)",
+    )
+    emit("scheme_cost", text)
+    by_name = {r[0].split("/")[0]: r for r in rows}
+    # every pseudorandom scheme costs ~1% of the CUT or less ...
+    for key in ("LFSR-1", "LFSR-D", "LFSR-M", "LFSR-1+M", "Ramp"):
+        assert by_name[key][4] < 2.0
+    # ... and the mixed scheme's premium over the plain LFSR is small
+    assert by_name["LFSR-1+M"][4] - by_name["LFSR-1"][4] < 1.0

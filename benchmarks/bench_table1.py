@@ -1,0 +1,9 @@
+"""Table 1 — design statistics of the three reference filters."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, ctx, emit):
+    result = benchmark.pedantic(table1, args=(ctx,), rounds=1, iterations=1)
+    emit("table1", result.render())
+    assert len(result.rows) == 3

@@ -1,0 +1,9 @@
+"""Table 2 — the difficult test classes at the next-to-MSB cell."""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, ctx, emit):
+    result = benchmark.pedantic(table2, args=(ctx,), rounds=1, iterations=1)
+    emit("table2", result.render())
+    assert len(result.rows) == 8

@@ -1,0 +1,10 @@
+"""Table 3 — frequency-domain generator/filter compatibility grid."""
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, ctx, emit):
+    result = benchmark.pedantic(table3, args=(ctx,), rounds=1, iterations=1)
+    emit("table3", result.render())
+    grid = {row[0]: row[1:] for row in result.rows}
+    assert grid["Ramp"][0].startswith("+") and grid["Ramp"][2].startswith("-")

@@ -1,0 +1,17 @@
+"""Table 4 — missed faults after 4k vectors, 4 generators x 3 designs.
+
+This is the paper's main quantitative result; the benchmark times the
+full 12-session fault-simulation sweep (cached sessions are reused by
+later benchmarks)."""
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, ctx, emit):
+    result = benchmark.pedantic(table4, args=(ctx,), rounds=1, iterations=1)
+    emit("table4", result.render())
+    grid = {row[0]: dict(zip(result.headers[1:], row[1:]))
+            for row in result.rows}
+    # headline orderings
+    assert grid["LP"]["LFSR-1"] > grid["LP"]["LFSR-D"]
+    assert grid["HP"]["Ramp"] > grid["HP"]["LFSR-D"]

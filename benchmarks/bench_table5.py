@@ -1,0 +1,9 @@
+"""Table 5 — Table 4 normalized by operator count."""
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, ctx, emit):
+    result = benchmark.pedantic(table5, args=(ctx,), rounds=1, iterations=1)
+    emit("table5", result.render())
+    assert all(isinstance(v, float) for row in result.rows for v in row[1:])

@@ -1,0 +1,12 @@
+"""Table 6 — mixed LFSR-1/LFSR-M misses at 8k vectors (LP and HP)."""
+
+from repro.experiments import table4, table6
+
+
+def test_table6(benchmark, ctx, emit):
+    result = benchmark.pedantic(table6, args=(ctx,), rounds=1, iterations=1)
+    emit("table6", result.render())
+    t4 = {row[0]: row[1] for row in table4(ctx).rows}  # LFSR-1 column
+    mixed = {row[0]: row[1] for row in result.rows}
+    # the paper's headline: 2-3.5x fewer misses than basic LFSR testing
+    assert t4["LP"] / mixed["LP"] > 2.0

@@ -1,0 +1,39 @@
+"""Benchmark fixtures.
+
+The experiment context is session-scoped and memoizes designs and
+coverage runs, so each underlying fault-simulation session is executed
+exactly once per benchmark session; every benchmark also writes the
+regenerated table/figure to ``benchmarks/results/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    out = pathlib.Path(__file__).parent / "results"
+    out.mkdir(exist_ok=True)
+    return out
+
+
+@pytest.fixture()
+def emit(results_dir):
+    """Write a rendered experiment to results/ and echo it."""
+
+    def _emit(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _emit

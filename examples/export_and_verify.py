@@ -1,0 +1,62 @@
+"""Exporting the model for external verification.
+
+A hardware team consuming this library needs three artifacts:
+
+1. a **JSON snapshot** of the exact datapath an experiment ran on
+   (loadable back into the library, bit-for-bit identical),
+2. **structural Verilog** of the gate-level netlist, for simulation or
+   synthesis in an HDL flow, and
+3. a **VCD waveform dump** of internal signals, diffable against the
+   HDL simulation of that Verilog.
+
+This example produces all three for the lowpass reference design and
+demonstrates the round-trip property on the JSON path.
+
+Run:  python examples/export_and_verify.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.filters import lowpass_design
+from repro.gates import elaborate, save_verilog
+from repro.generators import Type1Lfsr
+from repro.rtl import load_design, save_design, save_vcd, simulate
+
+
+def main() -> None:
+    design = lowpass_design()
+    outdir = tempfile.mkdtemp(prefix="repro_export_")
+
+    # 1. JSON snapshot + round trip
+    json_path = os.path.join(outdir, "lp_design.json")
+    save_design(design, json_path)
+    clone = load_design(json_path)
+    stim = Type1Lfsr(12).sequence(512)
+    original = simulate(design.graph, stim).output
+    reloaded = simulate(clone.graph, stim).output
+    assert np.array_equal(original, reloaded)
+    print(f"JSON snapshot: {json_path} "
+          f"({os.path.getsize(json_path)} bytes, round-trip verified)")
+
+    # 2. structural Verilog
+    netlist = elaborate(design.graph)
+    v_path = os.path.join(outdir, "lp_cut.v")
+    save_verilog(netlist, v_path, module_name="lp_cut")
+    print(f"Verilog netlist: {v_path} "
+          f"({netlist.gate_count} gates, {len(netlist.dffs)} flops)")
+
+    # 3. VCD dump of the paper's tap-20 signal under the LFSR test
+    tap20 = design.tap_accumulator(20)
+    result = simulate(design.graph, stim,
+                      keep_nodes=[tap20, design.graph.output_id])
+    vcd_path = os.path.join(outdir, "lp_waves.vcd")
+    save_vcd(result, vcd_path, node_ids=[tap20, design.graph.output_id])
+    print(f"VCD waveforms: {vcd_path} (open in GTKWave; note how small "
+          f"the tap-20 swing stays under the plain LFSR)")
+
+
+if __name__ == "__main__":
+    main()

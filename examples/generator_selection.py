@@ -1,0 +1,44 @@
+"""Frequency-domain generator selection (Table 3 + Section 9 in practice).
+
+For each reference filter this example:
+
+1. ranks the candidate generators by the spectral compatibility ratio
+   ``sigma_y^2(G,H) / sigma_y^2(flat, H)``,
+2. asks the selector for a concrete test scheme, and
+3. verifies by fault simulation that the proposed scheme beats the naive
+   Type 1 LFSR baseline.
+
+Run:  python examples/generator_selection.py
+"""
+
+from repro.bist import propose_scheme, rank_generators
+from repro.faultsim import build_fault_universe, run_fault_coverage
+from repro.filters import reference_designs
+from repro.generators import Type1Lfsr
+
+N_VECTORS = 4096
+
+
+def main() -> None:
+    for name, design in reference_designs().items():
+        print(f"\n=== {name} ({design.kind}) ===")
+        print("generator compatibility (rating, ratio):")
+        for rank in rank_generators(design):
+            print(f"  {rank.generator.name:12s} {rank.rating}  "
+                  f"{rank.ratio:7.3f}")
+
+        scheme = propose_scheme(design, n_vectors=N_VECTORS)
+        print(f"proposed scheme: {scheme.name}")
+
+        universe = build_fault_universe(design.graph, name=name)
+        baseline = run_fault_coverage(design, Type1Lfsr(12), N_VECTORS,
+                                      universe=universe)
+        proposed = run_fault_coverage(design, scheme, N_VECTORS,
+                                      universe=universe)
+        print(f"missed faults: plain LFSR {baseline.missed():4d}  ->  "
+              f"proposed {proposed.missed():4d} "
+              f"({baseline.missed() / max(1, proposed.missed()):.1f}x fewer)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Quickstart: self-test a lowpass filter and compare test generators.
+
+Builds the paper's 60-register lowpass reference design, runs a 4k-vector
+BIST session for each of the four classic generators, and prints the
+coverage each achieves — reproducing the core observation of the paper in
+a dozen lines of user code.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bist import BistSession
+from repro.filters import lowpass_design
+from repro.generators import (
+    DecorrelatedLfsr,
+    MaxVarianceLfsr,
+    RampGenerator,
+    Type1Lfsr,
+)
+
+
+def main() -> None:
+    design = lowpass_design()
+    print(f"design {design.name}: {design.adder_count} ripple-carry "
+          f"operators, {design.register_count} registers, "
+          f"output {design.output_fmt}")
+
+    n_vectors = 4096
+    for gen in (Type1Lfsr(12), DecorrelatedLfsr(12), MaxVarianceLfsr(12),
+                RampGenerator(12)):
+        session = BistSession(design, gen, n_vectors=n_vectors)
+        result = session.grade()
+        print(f"  {gen.name:12s} coverage {100 * result.coverage():6.2f}%  "
+              f"missed {result.missed():5d} of "
+              f"{result.universe.fault_count} faults  "
+              f"(golden signature {session.golden_signature():#06x})")
+
+    print("\nNote how every generator tops 98% coverage, yet the missed-"
+          "fault counts differ by factors — the paper's starting point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Frequency-domain compatible BIST for high-performance digital filters.
+
+A full reproduction of L. Goodby and A. Orailoglu, "Frequency-Domain
+Compatibility in Digital Filter BIST" (DAC 1997): multiplierless FIR
+datapath substrates, gate-accurate single-stuck-at fault models, the
+paper's test-pattern generators, frequency-domain testability analyses,
+and the complete experiment suite (Tables 1-6, Figures 1-13).
+
+Quick start::
+
+    from repro import filters, generators, faultsim
+
+    design = filters.lowpass_design()
+    gen = generators.Type1Lfsr(12)
+    result = faultsim.run_fault_coverage(design, gen, 4096)
+    print(result.coverage(), result.missed())
+
+Package map
+-----------
+``repro.fixedpoint``  two's-complement arithmetic primitives
+``repro.csd``         canonic-signed-digit coefficients and multiplier plans
+``repro.rtl``         datapath graphs, builders, scaling, simulation
+``repro.gates``       gate-level cells, netlists, exact fault injection
+``repro.faultsim``    fault universes and the fast coverage engine
+``repro.generators``  LFSR / ramp / sine / noise / mixed test generators
+``repro.analysis``    spectra, LFSR linear models, variance, distributions
+``repro.filters``     the three Table 1 reference designs
+``repro.bist``        MISR compaction, sessions, generator selection
+``repro.experiments`` drivers for every table and figure
+"""
+
+from . import (
+    analysis,
+    bist,
+    csd,
+    errors,
+    experiments,
+    faultsim,
+    filters,
+    fixedpoint,
+    gates,
+    generators,
+    rtl,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "bist",
+    "csd",
+    "errors",
+    "experiments",
+    "faultsim",
+    "filters",
+    "fixedpoint",
+    "gates",
+    "generators",
+    "rtl",
+    "__version__",
+]

@@ -1,0 +1,163 @@
+"""Exact amplitude-distribution prediction (Section 7.2, Figures 8-9).
+
+Signal variance is "a very rough measure"; the paper sharpens it by
+predicting the full probability distribution of the signal at a node.
+For LFSR sources this is exact: the node value is a finite weighted sum
+of i.i.d. Bernoulli(1/2) bits (the LFSR linear model cascaded with the
+subfilter), whose distribution is computed by convolving two-point masses
+on a fine amplitude grid.  For idealized generators the node value is a
+weighted sum of independent uniform words, handled the same way with box
+kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..generators.base import TestGenerator, match_width
+from ..rtl.build import FilterDesign
+from ..rtl.impulse import impulse_responses
+from ..rtl.simulate import simulate
+from .linear_model import SourceModel, cascade
+
+__all__ = [
+    "AmplitudeDistribution",
+    "bernoulli_sum_distribution",
+    "uniform_sum_distribution",
+    "predicted_tap_distribution",
+    "simulated_tap_histogram",
+]
+
+
+@dataclass
+class AmplitudeDistribution:
+    """A pdf sampled on a uniform amplitude grid."""
+
+    grid: np.ndarray     # bin centers (normalized amplitude)
+    pdf: np.ndarray      # probability *density* per bin
+
+    @property
+    def bin_width(self) -> float:
+        return float(self.grid[1] - self.grid[0])
+
+    def probability(self, lo: float, hi: float) -> float:
+        """P(lo <= X < hi)."""
+        mask = (self.grid >= lo) & (self.grid < hi)
+        return float(np.sum(self.pdf[mask]) * self.bin_width)
+
+    def sigma(self) -> float:
+        """Standard deviation of the distribution."""
+        w = self.pdf * self.bin_width
+        mean = float(np.sum(self.grid * w))
+        return float(np.sqrt(max(np.sum((self.grid - mean) ** 2 * w), 0.0)))
+
+
+def _make_grid(span: float, bins: int) -> Tuple[np.ndarray, float]:
+    grid = np.linspace(-span, span, bins)
+    return grid, grid[1] - grid[0]
+
+
+def bernoulli_sum_distribution(
+    weights: np.ndarray, bins: int = 4096, span: float = 0.0
+) -> AmplitudeDistribution:
+    """Distribution of ``sum_i w_i B_i`` with ``B_i`` i.i.d. Bernoulli(1/2).
+
+    Exact up to grid resolution: each weight splits the mass between
+    "bit = 0" (no shift) and "bit = 1" (shift by ``w_i``), implemented as
+    probability-mass convolution on the grid.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if span <= 0.0:
+        span = float(np.sum(np.abs(w))) + 1e-9
+    grid, step = _make_grid(span, bins)
+    pmf = np.zeros(bins)
+    pmf[bins // 2] = 1.0  # mass at amplitude 0
+    for wi in w:
+        if wi == 0.0:
+            continue
+        shift = int(round(wi / step))
+        shifted = np.zeros_like(pmf)
+        if shift >= 0:
+            shifted[shift:] = pmf[: bins - shift] if shift else pmf
+        else:
+            shifted[:shift] = pmf[-shift:]
+        pmf = 0.5 * pmf + 0.5 * shifted
+    return AmplitudeDistribution(grid=grid, pdf=pmf / step)
+
+
+def uniform_sum_distribution(
+    weights: np.ndarray, bins: int = 4096, span: float = 0.0
+) -> AmplitudeDistribution:
+    """Distribution of ``sum_i w_i U_i`` with ``U_i`` i.i.d. uniform[-1, 1)."""
+    w = np.asarray(weights, dtype=np.float64)
+    if span <= 0.0:
+        span = float(np.sum(np.abs(w))) + 1e-9
+    grid, step = _make_grid(span, bins)
+    pmf = np.zeros(bins)
+    pmf[bins // 2] = 1.0
+    for wi in w:
+        half_width = abs(wi)
+        if half_width < step:  # narrower than a bin: negligible smearing
+            continue
+        k = max(1, int(round(2.0 * half_width / step)))
+        kernel = np.ones(k) / k
+        pmf = np.convolve(pmf, kernel, mode="same")
+    pmf /= max(np.sum(pmf), 1e-300)
+    return AmplitudeDistribution(grid=grid, pdf=pmf / step)
+
+
+def predicted_tap_distribution(
+    design: FilterDesign,
+    tap_index: int,
+    model: SourceModel,
+    bins: int = 4096,
+    span: float = 0.0,
+) -> AmplitudeDistribution:
+    """Predicted amplitude distribution at a tap accumulator.
+
+    The prediction is expressed in the node's normalized [-1, 1) units
+    (the paper's convention for Figures 8-9).  Bernoulli-source models
+    (LFSR linear models; ``mean == 0.5``) use the exact two-point-mass
+    convolution; zero-mean unit-branch models use the uniform-word sum.
+    """
+    nid = design.tap_accumulator(tap_index)
+    node = design.graph.node(nid)
+    h = impulse_responses(design.graph)[nid].h
+    seen = cascade(model, h)
+    # Scale from generator-normalized units to this node's normalized units.
+    scale = design.input_fmt.half_scale / node.fmt.half_scale
+    weights = np.concatenate([np.asarray(b) for b in seen.branches]) * scale
+    if abs(model.mean - 0.5) < 1e-12 and abs(model.sigma2 - 0.25) < 1e-12:
+        return bernoulli_sum_distribution(weights, bins=bins, span=span)
+    if abs(model.mean) < 1e-12 and abs(model.sigma2 - 1.0 / 3.0) < 1e-12:
+        return uniform_sum_distribution(weights, bins=bins, span=span)
+    raise AnalysisError(
+        f"no exact distribution rule for source {model.name} "
+        f"(sigma2={model.sigma2}, mean={model.mean})"
+    )
+
+
+def simulated_tap_histogram(
+    design: FilterDesign,
+    tap_index: int,
+    generator: TestGenerator,
+    n_vectors: int = 8192,
+    bins: int = 256,
+    span: float = 0.0,
+) -> AmplitudeDistribution:
+    """Histogram estimate of the tap amplitude distribution by simulation."""
+    nid = design.tap_accumulator(tap_index)
+    raw = generator.sequence(n_vectors)
+    raw = match_width(raw, generator.width, design.input_fmt.width)
+    result = simulate(design.graph, raw, keep_nodes=[nid])
+    samples = result.normalized(nid)
+    if span <= 0.0:
+        span = float(np.max(np.abs(samples))) * 1.25 + 1e-9
+    hist, edges = np.histogram(samples, bins=bins, range=(-span, span),
+                               density=True)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return AmplitudeDistribution(grid=centers, pdf=hist)

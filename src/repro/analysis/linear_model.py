@@ -1,0 +1,223 @@
+"""Linear models of LFSR-generated test signals (Section 7.1).
+
+A Type 1 LFSR word sequence is exactly a 0/1 white-noise bit stream
+filtered by the finite impulse response
+
+    g[0] = -1,   g[n] = 2**-n  (n = 1 .. N-1),
+
+for MSB-to-LSB shifting (the time-reversed response for LSB-to-MSB; the
+power spectrum is identical).  Cascading ``g`` with a subfilter's impulse
+response ``h_k`` predicts the signal seen at any adder, which drives both
+the variance analysis (Eq. 1) and the exact amplitude-distribution
+prediction of Figures 8-9.
+
+Type 2 (Galois) LFSRs are modeled per the paper by splitting the register
+at its embedded XOR gates: within each segment the stages carry one
+sequence at consecutive delays, so each segment is a small Type-1-like
+window; contributions of different segments are treated as independent
+and their variances/spectra summed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..generators.polynomials import degree
+
+__all__ = [
+    "SourceModel",
+    "type1_lfsr_model",
+    "decorrelated_lfsr_model",
+    "max_variance_lfsr_model",
+    "uniform_white_model",
+    "type2_lfsr_model",
+    "cascade",
+    "model_power_spectrum",
+    "flattest_type2_polynomial",
+]
+
+
+@dataclass(frozen=True)
+class SourceModel:
+    """A test source as white noise through parallel FIR branches.
+
+    The source emits i.i.d. samples with variance ``sigma2`` and mean
+    ``mean``; the output is the sum of the branches, each branch being the
+    source stream (independently, per the paper's Type 2 approximation)
+    filtered by one impulse response in ``branches``.
+    """
+
+    name: str
+    branches: Tuple[Tuple[float, ...], ...]
+    sigma2: float
+    mean: float
+
+    @property
+    def g(self) -> np.ndarray:
+        """The single branch response (errors if the model has several)."""
+        if len(self.branches) != 1:
+            raise AnalysisError(
+                f"{self.name} has {len(self.branches)} branches; use "
+                "`branches` explicitly"
+            )
+        return np.array(self.branches[0])
+
+    def output_variance(self) -> float:
+        """Variance of the modeled generator output itself."""
+        return self.sigma2 * float(
+            sum(np.sum(np.square(b)) for b in self.branches)
+        )
+
+    def output_mean(self) -> float:
+        """Mean of the modeled generator output."""
+        return self.mean * float(sum(np.sum(b) for b in self.branches))
+
+
+def type1_lfsr_model(width: int, direction: str = "msb_to_lsb") -> SourceModel:
+    """The paper's Type 1 LFSR linear model (0/1 source, variance 0.25)."""
+    g = np.empty(width)
+    g[0] = -1.0
+    g[1:] = 2.0 ** -np.arange(1, width)
+    if direction == "lsb_to_msb":
+        g = g[::-1]
+    elif direction != "msb_to_lsb":
+        raise AnalysisError(f"unknown direction {direction!r}")
+    return SourceModel(name=f"LFSR-1/{width} model",
+                       branches=(tuple(g),), sigma2=0.25, mean=0.5)
+
+
+def decorrelated_lfsr_model(width: int) -> SourceModel:
+    """LFSR-D modeled as ideal word-white noise, variance 1/3."""
+    return SourceModel(name=f"LFSR-D/{width} model",
+                       branches=((1.0,),), sigma2=1.0 / 3.0, mean=0.0)
+
+
+def max_variance_lfsr_model(width: int) -> SourceModel:
+    """LFSR-M modeled as ideal ±1 white noise, variance 1."""
+    return SourceModel(name=f"LFSR-M/{width} model",
+                       branches=((1.0,),), sigma2=1.0, mean=0.0)
+
+
+def uniform_white_model(width: int) -> SourceModel:
+    """Idealized statistically-independent uniform words, variance 1/3."""
+    return SourceModel(name=f"White/{width} model",
+                       branches=((1.0,),), sigma2=1.0 / 3.0, mean=0.0)
+
+
+def type2_lfsr_model(width: int, poly: int,
+                     direction: str = "lsb_to_msb") -> SourceModel:
+    """Per-XOR-segment model of a Galois LFSR (paper's Section 7.1 remark).
+
+    For LSB-to-MSB shifting, stage ``i`` receives an XOR when polynomial
+    bit ``i`` is set (``0 < i < N``); segments are the maximal XOR-free
+    stage runs.  Stage ``j`` carries weight ``-1`` (sign) for ``j = N-1``
+    and ``2**-(N-1-j)`` otherwise, and within a segment starting at stage
+    ``a``, stage ``j`` lags the segment driver by ``j - a`` samples.
+    """
+    n = degree(poly)
+    if n != width:
+        raise AnalysisError(f"polynomial degree {n} != width {width}")
+    if direction == "msb_to_lsb":
+        # A right-shifting Galois register is the left-shifting one with
+        # the reciprocal polynomial and mirrored stage weights; reuse the
+        # same segmentation on the mirrored structure.
+        poly = _mirror_poly(poly, width)
+    xor_positions = [i for i in range(1, width) if poly & (1 << i)]
+    boundaries = sorted(set([0] + xor_positions + [width]))
+    branches: List[Tuple[float, ...]] = []
+    for a, b in zip(boundaries[:-1], boundaries[1:]):
+        # stages a .. b-1 form one segment; newest stage is `a`
+        # (its value moves up to b-1 over b-1-a cycles).
+        taps = []
+        for lag, j in enumerate(range(a, b)):
+            weight = -1.0 if j == width - 1 else 2.0 ** -(width - 1 - j)
+            taps.append((lag, weight))
+        g = np.zeros(b - a)
+        for lag, weight in taps:
+            g[lag] = weight
+        branches.append(tuple(g))
+    return SourceModel(name=f"LFSR-2/{width} model",
+                       branches=tuple(branches), sigma2=0.25, mean=0.5)
+
+
+def flattest_type2_polynomial(width: int, candidates=None,
+                              low_band: float = 0.02) -> Tuple[int, float]:
+    """Pick the Type 2 polynomial with the least low-frequency rolloff.
+
+    Section 6: "Choosing a polynomial that puts an XOR gate near the MSB
+    can help flatten the spectrum", and "using the reciprocal polynomial
+    will help ... by moving an XOR gate closer to the MSB".  This scores
+    candidate primitive polynomials by the per-segment linear model's
+    predicted power below ``low_band`` and returns ``(best_poly,
+    low_band_power)``.
+    """
+    from ..generators.polynomials import reciprocal, search_primitive_polys
+
+    if candidates is None:
+        base = search_primitive_polys(width, 8)
+        candidates = sorted({p for c in base for p in (c, reciprocal(c))})
+    best_poly = 0
+    best_power = -1.0
+    for poly in candidates:
+        model = type2_lfsr_model(width, poly)
+        freqs, power = model_power_spectrum(model, n_points=256)
+        mask = (freqs > 1e-6) & (freqs <= low_band)
+        lo = float(np.mean(power[mask]))
+        if lo > best_power:
+            best_power = lo
+            best_poly = poly
+    return best_poly, best_power
+
+
+def _mirror_poly(poly: int, width: int) -> int:
+    out = 1 << width
+    for i in range(width):
+        if poly & (1 << i):
+            out |= 1 << (width - i) if i > 0 else 1
+    return out | 1
+
+
+def cascade(model: SourceModel, h: np.ndarray) -> SourceModel:
+    """The model seen *through* a subfilter with impulse response ``h``."""
+    branches = tuple(
+        tuple(np.convolve(np.asarray(b), np.asarray(h, dtype=np.float64)))
+        for b in model.branches
+    )
+    return SourceModel(name=f"{model.name} * h", branches=branches,
+                       sigma2=model.sigma2, mean=model.mean)
+
+
+def model_power_spectrum(model: SourceModel, n_points: int = 512
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+    """Predicted power spectrum of a modeled source.
+
+    The spectrum of white noise (variance ``sigma2``) through FIR ``g`` is
+    ``sigma2 * |G(e^j2πf)|**2``; independent branches add.  The DC line
+    carries the squared mean in addition.  Normalization matches
+    :func:`repro.analysis.spectrum.exact_period_spectrum`: the mean over
+    bins equals total power.
+    """
+    freqs = np.linspace(0.0, 0.5, n_points)
+    total = np.zeros(n_points)
+    for b in model.branches:
+        g = np.asarray(b, dtype=np.float64)
+        response = np.abs(
+            np.exp(-2j * np.pi * np.outer(freqs, np.arange(len(g)))) @ g
+        ) ** 2
+        total += model.sigma2 * response
+    # AC power spectral density folded one-sided: double all non-DC bins.
+    total[1:] *= 2.0
+    dc_mean = model.output_mean()
+    total[0] += dc_mean**2 * n_points  # a DC line concentrates in one bin
+    # Scale so that the mean over bins equals total power (AC + DC).
+    ac_power = sum(model.sigma2 * float(np.sum(np.square(b)))
+                   for b in model.branches)
+    target = ac_power + dc_mean**2
+    mean_now = float(np.mean(total))
+    if mean_now > 0:
+        total *= target / mean_now
+    return freqs, total

@@ -1,0 +1,183 @@
+"""Distribution-based test-length prediction (Section 7.2's "more precise
+analysis", after the paper's ref [5]).
+
+Signal variance flags a problem; the amplitude *distribution* quantifies
+it: from the predicted distributions of an operator's two operands, the
+probability that a cell receives each of the eight input patterns per
+vector follows directly, and with it the expected pseudorandom test
+length of every fault (``1/p``) and the expected number of faults still
+missed after an ``N``-vector session (``sum (1-p)**N``).
+
+Assumptions (stated in the paper's spirit, checked in the benches):
+
+* operands are treated as independent.  In the transposed digit-folded
+  architecture this is *exact* for the first digit of every tap (the
+  accumulated primary depends only on past inputs, the term only on the
+  current input) and an approximation for later digits of multi-digit
+  taps;
+* distributions are evaluated on a finite amplitude grid, so pattern
+  probabilities are reliable for the *upper* cells (the difficult-fault
+  territory) and coarse for cells near the LSB, where the grid cannot
+  resolve individual raw codes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..faultsim.dictionary import FaultUniverse
+from ..fixedpoint import cell_pattern_codes
+from ..rtl.build import FilterDesign
+from ..rtl.impulse import impulse_responses
+from ..rtl.nodes import OpKind
+from .distribution import (
+    AmplitudeDistribution,
+    bernoulli_sum_distribution,
+    uniform_sum_distribution,
+)
+from .linear_model import SourceModel, cascade
+
+__all__ = [
+    "node_distribution",
+    "operator_pattern_probabilities",
+    "expected_detection_times",
+    "predicted_missed_count",
+]
+
+
+def node_distribution(
+    design: FilterDesign,
+    node_id: int,
+    model: SourceModel,
+    bins: int = 1024,
+    reference_half_scale: Optional[float] = None,
+) -> AmplitudeDistribution:
+    """Predicted amplitude distribution of any node's value.
+
+    Normalized by ``reference_half_scale`` (engineering units; defaults
+    to the node's own half scale) so operand distributions can be placed
+    on a *consuming operator's* scale.
+    """
+    node = design.graph.node(node_id)
+    h = impulse_responses(design.graph)[node_id].h
+    seen = cascade(model, h)
+    half = reference_half_scale or node.fmt.half_scale
+    scale = design.input_fmt.half_scale / half
+    weights = np.concatenate([np.asarray(b) for b in seen.branches]) * scale
+    span = float(np.sum(np.abs(weights))) + 1e-9
+    if abs(model.mean - 0.5) < 1e-12 and abs(model.sigma2 - 0.25) < 1e-12:
+        return bernoulli_sum_distribution(weights, bins=bins, span=span)
+    if abs(model.mean) < 1e-12 and abs(model.sigma2 - 1.0 / 3.0) < 1e-12:
+        return uniform_sum_distribution(weights, bins=bins, span=span)
+    if abs(model.mean) < 1e-12 and abs(model.sigma2 - 1.0) < 1e-12:
+        # ±full-scale source: two-point mass per branch weight
+        return bernoulli_sum_distribution(2.0 * weights, bins=bins,
+                                          span=float(np.sum(np.abs(weights)) * 2 + 1e-9))
+    raise AnalysisError(f"no distribution rule for source {model.name}")
+
+
+def _distribution_as_raw_pmf(
+    dist: AmplitudeDistribution, half_scale_raw: int, max_support: int = 512
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Collapse a gridded pdf to (raw values, probabilities).
+
+    Support is capped at ``max_support`` points by merging consecutive
+    bins (probability-weighted mean position), which bounds the joint
+    enumeration cost at ``max_support**2`` per operator.
+    """
+    probs = dist.pdf * dist.bin_width
+    raws = np.floor(dist.grid * half_scale_raw + 0.5).astype(np.int64)
+    keep = probs > 1e-12
+    raws, probs = raws[keep], probs[keep]
+    if len(raws) > max_support:
+        groups = np.array_split(np.arange(len(raws)), max_support)
+        merged_r = np.empty(len(groups), dtype=np.int64)
+        merged_p = np.empty(len(groups))
+        for i, g in enumerate(groups):
+            w = probs[g]
+            total = np.sum(w)
+            merged_p[i] = total
+            merged_r[i] = np.int64(np.round(np.sum(raws[g] * w) / max(total, 1e-300)))
+        raws, probs = merged_r, merged_p
+    return raws, probs / np.sum(probs)
+
+
+def operator_pattern_probabilities(
+    design: FilterDesign,
+    node_id: int,
+    model: SourceModel,
+    bins: int = 1024,
+) -> np.ndarray:
+    """Per-cell pattern probabilities of one operator, shape ``(W, 8)``.
+
+    Entry ``[k, n]`` is the predicted per-vector probability that bit
+    ``k``'s cell receives test ``Tn``.
+    """
+    node = design.graph.node(node_id)
+    if not node.is_arithmetic:
+        raise AnalysisError(f"node {node_id} is not an adder/subtractor")
+    width = node.fmt.width
+    half_raw = 1 << (width - 1)
+    dists = []
+    for src in node.srcs:
+        dist = node_distribution(design, src, model, bins=bins,
+                                 reference_half_scale=node.fmt.half_scale)
+        dists.append(_distribution_as_raw_pmf(dist, half_raw))
+    (a_raw, a_p), (b_raw, b_p) = dists
+    a_raw = np.clip(a_raw, -half_raw, half_raw - 1)
+    b_raw = np.clip(b_raw, -half_raw, half_raw - 1)
+    is_sub = node.kind is OpKind.SUB
+    codes = cell_pattern_codes(
+        a_raw[:, None], b_raw[None, :], 1 if is_sub else 0, width,
+        invert_b=is_sub,
+    )  # (W, nA, nB)
+    joint = a_p[:, None] * b_p[None, :]
+    out = np.zeros((width, 8))
+    for k in range(width):
+        flat = codes[k].ravel()
+        out[k] = np.bincount(flat, weights=joint.ravel(), minlength=8)[:8]
+    return out
+
+
+def expected_detection_times(
+    design: FilterDesign,
+    universe: FaultUniverse,
+    model: SourceModel,
+    bins: int = 1024,
+) -> np.ndarray:
+    """Expected pseudorandom test length of every fault (vectors).
+
+    ``inf`` marks faults whose detecting patterns have (numerically) zero
+    predicted probability.
+    """
+    prob_cache: Dict[int, np.ndarray] = {}
+    out = np.empty(universe.fault_count)
+    for f in universe.faults:
+        if f.node_id not in prob_cache:
+            prob_cache[f.node_id] = operator_pattern_probabilities(
+                design, f.node_id, model, bins=bins)
+        probs = prob_cache[f.node_id][f.bit]
+        p = sum(probs[n] for n in range(8) if f.effective_mask & (1 << n))
+        out[f.index] = np.inf if p <= 0 else 1.0 / p
+    return out
+
+
+def predicted_missed_count(
+    design: FilterDesign,
+    universe: FaultUniverse,
+    model: SourceModel,
+    n_vectors: int,
+    bins: int = 1024,
+) -> float:
+    """Expected number of faults undetected after ``n_vectors``.
+
+    Treats vectors as independent draws: a fault with per-vector hit
+    probability ``p`` survives with probability ``(1-p)**N``.
+    """
+    times = expected_detection_times(design, universe, model, bins=bins)
+    with np.errstate(divide="ignore"):
+        p = np.where(np.isinf(times), 0.0, 1.0 / times)
+    return float(np.sum((1.0 - p) ** n_vectors))

@@ -1,0 +1,136 @@
+"""Difficult tests and test zones (Section 4.1, Table 2, Figure 1).
+
+At a variance-mismatched adder's next-to-MSB cell (the bit of weight 0.5
+in the paper's normalized convention), four of the eight full-adder tests
+are difficult: T1, T2, T5 and T6, each assertable by two input/output
+equivalence classes (``a``/``b``).  This module encodes
+
+* the behavioural I/O conditions of Table 2,
+* the *test zones* of Figure 1 — the intervals the primary input must
+  fall in for each class, given a bound on the secondary input, and
+* helpers for computing zone hit probabilities under a predicted
+  amplitude distribution.
+
+All quantities are in normalized units: the adder output range is
+[-1, 1), so the next-to-MSB bit has weight 0.5.  ``A`` is the primary
+(high-variance) input, ``B`` the secondary input, and the *output* is the
+adder's wrapped two's-complement result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .distribution import AmplitudeDistribution
+
+__all__ = [
+    "DIFFICULT_TESTS",
+    "DifficultTestClass",
+    "test_zones",
+    "zone_probabilities",
+    "next_to_msb_code",
+    "difficult_test_table",
+]
+
+#: The four difficult test numbers (n = abc at the next-to-MSB cell).
+DIFFICULT_TESTS = (1, 2, 5, 6)
+
+
+@dataclass(frozen=True)
+class DifficultTestClass:
+    """One row of Table 2.
+
+    ``input_range`` constrains the primary input A; ``output_condition``
+    describes the adder's (wrapped) output; ``overflow`` marks classes
+    that require the true sum to overflow the output range.
+    """
+
+    test: int
+    variant: str
+    input_range: Tuple[float, float]
+    output_condition: str
+    overflow: bool
+
+    @property
+    def label(self) -> str:
+        return f"T{self.test}{self.variant}"
+
+
+#: Table 2, transcribed.  Input ranges are half-open [lo, hi) over A.
+_TABLE2: Tuple[DifficultTestClass, ...] = (
+    DifficultTestClass(1, "a", (0.0, 0.5), "A+B >= 0.5", False),
+    DifficultTestClass(1, "b", (-1.0, -0.5), "A+B >= -0.5", False),
+    DifficultTestClass(2, "a", (0.0, 0.5), "A+B < 0", False),
+    DifficultTestClass(2, "b", (-1.0, -0.5), "A+B >= 0.5 (ovf)", True),
+    DifficultTestClass(5, "a", (-0.5, 0.0), "A+B >= 0", False),
+    DifficultTestClass(5, "b", (0.5, 1.0), "A+B < -0.5 (ovf)", True),
+    DifficultTestClass(6, "a", (-0.5, 0.0), "A+B < -0.5", False),
+    DifficultTestClass(6, "b", (0.5, 1.0), "A+B < 0.5", False),
+)
+
+
+def difficult_test_table() -> Tuple[DifficultTestClass, ...]:
+    """The eight difficult test classes of Table 2."""
+    return _TABLE2
+
+
+def test_zones(beta: float) -> Dict[str, Tuple[float, float]]:
+    """Figure 1's test zones on the primary input.
+
+    ``beta`` bounds the secondary input magnitude (its half-range; zone
+    width is proportional to the secondary input's spread).  Returns a
+    mapping from class label to the half-open interval of primary-input
+    values that can assert the class.
+    """
+    if not 0.0 < beta <= 0.5:
+        raise AnalysisError(f"beta must be in (0, 0.5], got {beta}")
+    return {
+        "T2b": (-1.0, -1.0 + beta),
+        "T1b": (-0.5 - beta, -0.5),
+        "T6a": (-0.5, -0.5 + beta),
+        "T5a": (-beta, 0.0),
+        "T2a": (0.0, beta),
+        "T1a": (0.5 - beta, 0.5),
+        "T6b": (0.5, 0.5 + beta),
+        "T5b": (1.0 - beta, 1.0),
+    }
+
+
+def zone_probabilities(
+    dist: AmplitudeDistribution, beta: float
+) -> Dict[str, float]:
+    """Probability that the primary input falls in each test zone.
+
+    Combines a predicted (or measured) primary-input distribution with
+    the Figure 1 zones; a vanishing probability for T1/T6 zones flags the
+    excess-headroom problem analytically.
+    """
+    return {
+        label: dist.probability(lo, hi)
+        for label, (lo, hi) in test_zones(beta).items()
+    }
+
+
+def next_to_msb_code(a_raw, b_raw, width: int, is_subtractor: bool = False):
+    """Bit-true (a, b, c) code at the next-to-MSB cell of a real operator.
+
+    Used by the tests to verify Table 2: the behavioural conditions above
+    must agree with the actual ripple-carry bits for every operand pair.
+    Returns the 3-bit codes as an integer array.
+    """
+    from ..fixedpoint import cell_pattern_codes
+
+    codes = cell_pattern_codes(
+        np.asarray(a_raw), np.asarray(b_raw),
+        1 if is_subtractor else 0, width, invert_b=is_subtractor,
+    )
+    return codes[width - 2]
+
+
+def classes_for_code(code: int) -> List[DifficultTestClass]:
+    """The Table 2 classes asserting a given cell input code."""
+    return [c for c in _TABLE2 if c.test == code]

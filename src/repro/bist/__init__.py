@@ -1,0 +1,41 @@
+"""BIST assembly: response compaction, end-to-end sessions and automated
+generator selection."""
+
+from .misr import AccumulatorCompactor, Misr, ideal_signature
+from .session import BistOutcome, BistSession
+from .deterministic import (
+    DeterministicGenerator,
+    deterministic_sequence,
+    deterministic_topoff,
+    matched_burst,
+)
+from .cost import SchemeCost, cost_table, cut_gate_estimate, scheme_cost
+from .diagnosis import DiagnosisResult, SignatureDictionary
+from .selection import (
+    GeneratorRanking,
+    default_candidates,
+    propose_scheme,
+    rank_generators,
+)
+
+__all__ = [
+    "Misr",
+    "AccumulatorCompactor",
+    "ideal_signature",
+    "BistSession",
+    "BistOutcome",
+    "GeneratorRanking",
+    "default_candidates",
+    "rank_generators",
+    "propose_scheme",
+    "DeterministicGenerator",
+    "matched_burst",
+    "deterministic_sequence",
+    "deterministic_topoff",
+    "SchemeCost",
+    "scheme_cost",
+    "cost_table",
+    "cut_gate_estimate",
+    "DiagnosisResult",
+    "SignatureDictionary",
+]

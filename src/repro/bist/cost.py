@@ -1,0 +1,75 @@
+"""Hardware cost accounting for test schemes.
+
+The paper's closing argument is economic: the mixed scheme reduces missed
+faults "at little added cost".  This module puts numbers on that claim by
+tallying each scheme's test hardware (flip-flops, 2-input-gate
+equivalents, ROM words) and relating it to the size of the
+circuit-under-test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..generators.base import TestGenerator
+from ..rtl.build import FilterDesign
+from ..rtl.nodes import OpKind
+
+__all__ = ["SchemeCost", "scheme_cost", "cost_table", "cut_gate_estimate"]
+
+#: Gate-equivalents per full-adder cell (2 XOR + 2 AND + 1 OR).
+_GATES_PER_CELL = 5
+#: Gate-equivalents per flip-flop (a common synthesis-area convention).
+_GATES_PER_DFF = 6
+
+
+def cut_gate_estimate(design: FilterDesign) -> int:
+    """Rough gate-equivalent size of the circuit under test."""
+    cells = sum(n.fmt.width for n in design.graph.arithmetic_nodes)
+    reg_bits = sum(n.fmt.width for n in design.graph.nodes
+                   if n.kind is OpKind.DELAY)
+    return cells * _GATES_PER_CELL + reg_bits * _GATES_PER_DFF
+
+
+@dataclass(frozen=True)
+class SchemeCost:
+    """Test-hardware bill of one generator scheme."""
+
+    name: str
+    dff: int
+    gates: int
+    rom_words: int
+
+    @property
+    def gate_equivalents(self) -> int:
+        """Single-number cost (ROM words weighted like registers)."""
+        return (self.gates + self.dff * _GATES_PER_DFF
+                + self.rom_words * _GATES_PER_DFF)
+
+    def overhead_percent(self, design: FilterDesign) -> float:
+        """Test hardware as a percentage of the CUT size."""
+        return 100.0 * self.gate_equivalents / max(1, cut_gate_estimate(design))
+
+
+def scheme_cost(generator: TestGenerator) -> SchemeCost:
+    """Cost of one generator scheme from its self-reported tally."""
+    raw: Dict[str, int] = generator.hardware_cost()
+    return SchemeCost(
+        name=generator.name,
+        dff=int(raw.get("dff", 0)),
+        gates=int(raw.get("gates", 0)),
+        rom_words=int(raw.get("rom_words", 0)),
+    )
+
+
+def cost_table(
+    design: FilterDesign, generators: Sequence[TestGenerator]
+) -> List[Tuple[str, int, int, int, float]]:
+    """Rows of (name, dff, gates, rom, overhead %) for a set of schemes."""
+    rows = []
+    for gen in generators:
+        c = scheme_cost(gen)
+        rows.append((c.name, c.dff, c.gates, c.rom_words,
+                     round(c.overhead_percent(design), 2)))
+    return rows

@@ -1,0 +1,151 @@
+"""Deterministic BIST top-off sequences (the conclusion's future work).
+
+The paper's closing list of escalation options includes "use of more
+specialized test controllers to produce tests tailored to the specific
+filter (deterministic BIST)".  This module implements the natural such
+controller for linear datapaths: **matched-filter bursts**.
+
+For a target operator with subfilter impulse response ``h``, the input
+burst ``u[n] = a * sign(h[M-1-n])`` drives the operator's value to
+``±a * L1(h)`` — the absolute maximum reachable at amplitude ``a``.
+Sweeping ``a`` walks the operator's value through the Figure 1 test
+zones near ±0.5 and ±1 that pseudorandom signals almost never reach,
+while the burst's transient tail supplies variety on the secondary input
+and carry bits.  A short pseudorandom top-off after the bursts restores
+low-bit activity.
+
+The generated sequence is deterministic, so on-chip it corresponds to a
+small ROM/controller, which is exactly the cost the paper is weighing
+against pseudorandom schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DesignError
+from ..faultsim.dictionary import FaultUniverse
+from ..faultsim.engine import CoverageResult, coverage_of_tracker
+from ..faultsim.patterns import track_patterns
+from ..generators.base import TestGenerator, match_width
+from ..rtl.build import FilterDesign
+from ..rtl.impulse import impulse_responses
+
+__all__ = ["matched_burst", "deterministic_sequence", "DeterministicGenerator",
+           "deterministic_topoff"]
+
+#: Normalized operator-value targets: both overflow-adjacent extremes and
+#: both sides of the ±0.5 zone boundaries (T1/T6 territory).
+DEFAULT_TARGETS = (0.995, 0.76, 0.53, 0.49, 0.27)
+
+
+def matched_burst(
+    design: FilterDesign,
+    node_id: int,
+    target: float,
+    polarity: int = 1,
+) -> np.ndarray:
+    """Input burst driving one operator's value to ``polarity*target``.
+
+    ``target`` is in the operator's normalized units; amplitudes beyond
+    what full-scale input can reach are clipped.  Returns raw input words.
+    """
+    h = impulse_responses(design.graph)[node_id].h
+    l1 = float(np.sum(np.abs(h)))
+    if l1 <= 0:
+        raise DesignError(f"node {node_id} is not reachable from the input")
+    node = design.graph.node(node_id)
+    input_fmt = design.input_fmt
+    input_peak = input_fmt.max_value
+    # amplitude (fraction of input full scale) that lands on the target
+    amp = target * node.fmt.half_scale / (input_peak * l1)
+    amp = min(amp, 1.0)
+    signs = np.sign(h[::-1])
+    signs[signs == 0] = 1.0
+    raw = np.floor(polarity * amp * signs * input_fmt.max_raw + 0.5)
+    return np.clip(raw, input_fmt.min_raw, input_fmt.max_raw).astype(np.int64)
+
+
+def deterministic_sequence(
+    design: FilterDesign,
+    node_ids: Iterable[int],
+    targets: Sequence[float] = DEFAULT_TARGETS,
+    gap: int = 4,
+) -> np.ndarray:
+    """Concatenated matched bursts for a set of target operators.
+
+    ``gap`` zero samples separate bursts so each burst's peak is clean.
+    Bursts for both polarities of every target level are emitted.
+    """
+    chunks: List[np.ndarray] = []
+    pad = np.zeros(gap, dtype=np.int64)
+    for nid in node_ids:
+        for target in targets:
+            for polarity in (1, -1):
+                chunks.append(matched_burst(design, nid, target, polarity))
+                chunks.append(pad)
+    if not chunks:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(chunks)
+
+
+class DeterministicGenerator(TestGenerator):
+    """Replays a precomputed deterministic sequence (cycling if needed)."""
+
+    def __init__(self, sequence: np.ndarray, width: int, name: str = ""):
+        super().__init__(width, name or "Deterministic")
+        if len(sequence) == 0:
+            raise DesignError("deterministic sequence must be non-empty")
+        self._sequence = np.asarray(sequence, dtype=np.int64)
+        self.reset()
+
+    def __len__(self) -> int:
+        return len(self._sequence)
+
+    def reset(self) -> None:
+        self._pos = 0
+
+    def generate(self, n: int) -> np.ndarray:
+        idx = (self._pos + np.arange(n)) % len(self._sequence)
+        self._pos += n
+        return self._sequence[idx]
+
+    def hardware_cost(self):
+        # A ROM of len words plus an address counter.
+        return {"dff": self.width, "gates": 0,
+                "rom_words": len(self._sequence)}
+
+
+def deterministic_topoff(
+    design: FilterDesign,
+    universe: FaultUniverse,
+    base_generator: TestGenerator,
+    n_base: int,
+    targets: Sequence[float] = DEFAULT_TARGETS,
+) -> Tuple[CoverageResult, CoverageResult, int]:
+    """Pseudorandom session plus targeted deterministic bursts.
+
+    Runs ``n_base`` vectors of ``base_generator``, finds the operators
+    still hosting missed faults, appends matched bursts aimed at them,
+    and grades the combined session.  Returns ``(base_result,
+    combined_result, n_deterministic)``.
+    """
+    raw_base = match_width(base_generator.sequence(n_base),
+                           base_generator.width, design.input_fmt.width)
+    tracker = track_patterns(design.graph, universe, raw_base)
+    base = coverage_of_tracker(tracker, design_name=design.name,
+                               generator_name=base_generator.name)
+    base_missed = base.missed_faults()
+    target_nodes: Dict[int, int] = {}
+    for f in base_missed:
+        target_nodes[f.node_id] = target_nodes.get(f.node_id, 0) + 1
+    seq = deterministic_sequence(design, sorted(target_nodes), targets)
+    if len(seq):
+        track_patterns(design.graph, universe, seq, tracker=tracker)
+    combined = coverage_of_tracker(
+        tracker, design_name=design.name,
+        generator_name=f"{base_generator.name}+deterministic",
+    )
+    return base, combined, len(seq)

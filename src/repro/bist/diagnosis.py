@@ -1,0 +1,136 @@
+"""Signature-dictionary fault diagnosis.
+
+A BIST pass/fail bit says *that* a device is broken; manufacturing debug
+wants to know *where*.  The classic low-cost answer reuses the BIST
+hardware: precompute the faulty MISR signature of every candidate fault
+(bit-true injection), store the dictionary, and look failing devices up
+by their observed signature.  Multiple sessions with different
+generators shrink ambiguity groups multiplicatively — each session is an
+independent hash of the fault's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..faultsim.dictionary import DesignFault
+from ..faultsim.inject import to_injected_fault
+from ..generators.base import TestGenerator, match_width
+from ..rtl.build import FilterDesign
+from ..rtl.simulate import simulate
+from .misr import Misr
+
+__all__ = ["DiagnosisResult", "SignatureDictionary"]
+
+
+@dataclass
+class DiagnosisResult:
+    """Outcome of looking up an observed signature tuple."""
+
+    candidates: List[DesignFault]
+    sessions_used: int
+
+    @property
+    def resolved(self) -> bool:
+        """True when the signature pins a single candidate fault."""
+        return len(self.candidates) == 1
+
+    @property
+    def ambiguity(self) -> int:
+        return len(self.candidates)
+
+
+class SignatureDictionary:
+    """Precomputed fault → signature-tuple dictionary.
+
+    Parameters
+    ----------
+    design:
+        The circuit under test.
+    sessions:
+        ``(generator, n_vectors)`` pairs; each contributes one signature
+        per fault.  More sessions = smaller ambiguity groups.
+    misr_width:
+        Compactor width (defaults to the design output width).
+    """
+
+    def __init__(
+        self,
+        design: FilterDesign,
+        sessions: Sequence[Tuple[TestGenerator, int]],
+        misr_width: Optional[int] = None,
+    ):
+        if not sessions:
+            raise SimulationError("need at least one session")
+        self.design = design
+        self.sessions = list(sessions)
+        self._misr = Misr(misr_width or design.output_fmt.width)
+        self._stimuli = []
+        self.golden: Tuple[int, ...] = ()
+        goldens = []
+        for gen, n in self.sessions:
+            if n <= 0:
+                raise SimulationError("session lengths must be positive")
+            raw = match_width(gen.sequence(n), gen.width,
+                              design.input_fmt.width)
+            self._stimuli.append(raw)
+            out = simulate(design.graph, raw).raw(design.graph.output_id)
+            goldens.append(self._misr.signature(out))
+        self.golden = tuple(goldens)
+        self._table: Dict[Tuple[int, ...], List[DesignFault]] = {}
+        self._built_count = 0
+
+    # ------------------------------------------------------------------
+    # Dictionary construction
+    # ------------------------------------------------------------------
+    def signature_of(self, fault: DesignFault) -> Tuple[int, ...]:
+        """The fault's signature tuple across all sessions (bit-true)."""
+        injected = to_injected_fault(fault)
+        sigs = []
+        for raw in self._stimuli:
+            out = simulate(self.design.graph, raw,
+                           fault=injected).raw(self.design.graph.output_id)
+            sigs.append(self._misr.signature(out))
+        return tuple(sigs)
+
+    def build(self, candidates: Sequence[DesignFault]) -> None:
+        """Add candidate faults to the dictionary."""
+        for fault in candidates:
+            sig = self.signature_of(fault)
+            if sig == self.golden:
+                continue  # undetected by every session: not diagnosable
+            self._table.setdefault(sig, []).append(fault)
+            self._built_count += 1
+
+    @property
+    def size(self) -> int:
+        """Number of diagnosable faults in the dictionary."""
+        return self._built_count
+
+    def ambiguity_histogram(self) -> Dict[int, int]:
+        """How many signature groups have each ambiguity size."""
+        hist: Dict[int, int] = {}
+        for group in self._table.values():
+            hist[len(group)] = hist.get(len(group), 0) + 1
+        return hist
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def diagnose(self, signatures: Sequence[int]) -> DiagnosisResult:
+        """Look up an observed signature tuple."""
+        key = tuple(int(s) for s in signatures)
+        if len(key) != len(self.sessions):
+            raise SimulationError(
+                f"expected {len(self.sessions)} signatures, got {len(key)}"
+            )
+        return DiagnosisResult(
+            candidates=list(self._table.get(key, [])),
+            sessions_used=len(self.sessions),
+        )
+
+    def diagnose_device(self, fault: DesignFault) -> DiagnosisResult:
+        """Simulate a faulty device end to end and diagnose it."""
+        return self.diagnose(self.signature_of(fault))

@@ -1,0 +1,109 @@
+"""Automated test-generator selection (formalizing Table 3 + Section 9).
+
+Given a filter design, rank candidate generators by the frequency-domain
+compatibility metric, and propose a test scheme: the best single-mode
+generator, or — per the paper's recommendation — a mixed scheme pairing
+a CUT-compatible generator with the maximum-variance mode that covers
+upper bits and flattens the spectrum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..analysis.compatibility import CompatibilityResult, compatibility_ratio
+from ..analysis.spectrum import generator_spectrum
+from ..generators.base import TestGenerator
+from ..generators.mixed import MixedModeLfsr, SwitchedGenerator
+from ..generators.ramp import RampGenerator
+from ..generators.variants import (
+    DecorrelatedLfsr,
+    MaxVarianceLfsr,
+    Type1Lfsr,
+    Type2Lfsr,
+)
+from ..rtl.build import FilterDesign
+
+__all__ = ["GeneratorRanking", "default_candidates", "rank_generators",
+           "propose_scheme"]
+
+
+@dataclass
+class GeneratorRanking:
+    """One candidate's compatibility with the target design."""
+
+    generator: TestGenerator
+    result: CompatibilityResult
+
+    @property
+    def ratio(self) -> float:
+        return self.result.ratio
+
+    @property
+    def rating(self) -> str:
+        return self.result.rating
+
+
+def default_candidates(width: int) -> List[TestGenerator]:
+    """The paper's Section 6 generator menagerie at a given width."""
+    return [
+        Type1Lfsr(width),
+        Type2Lfsr(width),
+        DecorrelatedLfsr(width),
+        MaxVarianceLfsr(width),
+        RampGenerator(width),
+    ]
+
+
+def rank_generators(
+    design: FilterDesign,
+    candidates: Optional[Sequence[TestGenerator]] = None,
+) -> List[GeneratorRanking]:
+    """Rank candidates by compatibility ratio with the design, best first."""
+    if candidates is None:
+        candidates = default_candidates(design.input_fmt.width)
+    h = design.coefficients
+    rankings: List[GeneratorRanking] = []
+    for gen in candidates:
+        freqs, power = generator_spectrum(gen)
+        sigma_y2, flat = compatibility_ratio(freqs, power, h)
+        rankings.append(
+            GeneratorRanking(
+                generator=gen,
+                result=CompatibilityResult(
+                    generator=gen.name, filter_name=design.name,
+                    sigma_y2=sigma_y2, flat_sigma_y2=flat,
+                ),
+            )
+        )
+    rankings.sort(key=lambda r: -r.ratio)
+    return rankings
+
+
+def propose_scheme(
+    design: FilterDesign,
+    n_vectors: int,
+    prefer_mixed: bool = True,
+) -> TestGenerator:
+    """Propose a test generator for a design.
+
+    With ``prefer_mixed`` (the paper's Section 9 recommendation), the
+    scheme is a single Type 1 LFSR switched to maximum-variance mode
+    halfway when the Type 1 spectrum alone is compatible, or a
+    decorrelated LFSR front half otherwise (narrowband-lowpass CUTs,
+    where the Type 1 rolloff starves the passband).
+    """
+    width = design.input_fmt.width
+    if not prefer_mixed:
+        return rank_generators(design)[0].generator
+    type1_rating = next(
+        r for r in rank_generators(design) if isinstance(r.generator, Type1Lfsr)
+    )
+    if type1_rating.rating == "-":
+        return SwitchedGenerator(
+            [(DecorrelatedLfsr(width), n_vectors // 2),
+             (MaxVarianceLfsr(width), None)],
+            name=f"LFSR-D+M/{width}",
+        )
+    return MixedModeLfsr(width, switch_after=n_vectors // 2)

@@ -1,0 +1,105 @@
+"""End-to-end BIST sessions: generator → filter → compactor.
+
+:class:`BistSession` is the user-facing flow: wire a test generator to a
+filter design, compute the golden signature, and grade either the fault
+universe (fast cell-level engine) or an individual injected fault
+(bit-true injection + signature comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..faultsim.dictionary import DesignFault, FaultUniverse, build_fault_universe
+from ..faultsim.engine import CoverageResult, run_fault_coverage
+from ..faultsim.inject import to_injected_fault
+from ..generators.base import TestGenerator, match_width
+from ..rtl.build import FilterDesign
+from ..rtl.simulate import simulate
+from .misr import Misr
+
+__all__ = ["BistOutcome", "BistSession"]
+
+
+@dataclass
+class BistOutcome:
+    """Result of screening one (possibly faulty) device."""
+
+    signature: int
+    golden_signature: int
+
+    @property
+    def passed(self) -> bool:
+        return self.signature == self.golden_signature
+
+
+@dataclass
+class BistSession:
+    """A configured self-test: one generator, one design, one compactor.
+
+    ``misr_width`` defaults to the design output width.  The session is
+    deterministic: the generator is reset at the start of every run.
+    """
+
+    design: FilterDesign
+    generator: TestGenerator
+    n_vectors: int
+    misr_width: Optional[int] = None
+    _misr: Misr = field(init=False, repr=False)
+    _golden: Optional[int] = field(default=None, init=False, repr=False)
+    _universe: Optional[FaultUniverse] = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_vectors <= 0:
+            raise SimulationError("n_vectors must be positive")
+        width = self.misr_width or self.design.output_fmt.width
+        self._misr = Misr(width)
+
+    # ------------------------------------------------------------------
+    # Stimulus and signatures
+    # ------------------------------------------------------------------
+    def stimulus(self) -> np.ndarray:
+        """The raw input sequence of one session (width-matched)."""
+        raw = self.generator.sequence(self.n_vectors)
+        return match_width(raw, self.generator.width,
+                           self.design.input_fmt.width)
+
+    def golden_signature(self) -> int:
+        """Fault-free signature (cached)."""
+        if self._golden is None:
+            response = simulate(self.design.graph, self.stimulus())
+            raw_out = response.raw(self.design.graph.output_id)
+            self._golden = self._misr.signature(raw_out)
+        return self._golden
+
+    def screen_fault(self, fault: DesignFault) -> BistOutcome:
+        """Run the full session against one injected fault.
+
+        Bit-true: the faulty cell is injected into the datapath and the
+        MISR signature compared against gold — including any aliasing a
+        real MISR could introduce.
+        """
+        response = simulate(self.design.graph, self.stimulus(),
+                            fault=to_injected_fault(fault))
+        raw_out = response.raw(self.design.graph.output_id)
+        sig = self._misr.signature(raw_out)
+        return BistOutcome(signature=sig, golden_signature=self.golden_signature())
+
+    # ------------------------------------------------------------------
+    # Universe-level grading
+    # ------------------------------------------------------------------
+    @property
+    def universe(self) -> FaultUniverse:
+        if self._universe is None:
+            self._universe = build_fault_universe(self.design.graph,
+                                                  name=self.design.name)
+        return self._universe
+
+    def grade(self) -> CoverageResult:
+        """Fast coverage grading of the whole fault universe."""
+        return run_fault_coverage(self.design, self.generator, self.n_vectors,
+                                  universe=self.universe)

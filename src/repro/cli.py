@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``stats``     Table 1-style statistics for the reference designs.
+``grade``     Run a BIST session and report coverage and missed faults.
+``rank``      Rank generators against a design, propose a scheme.
+``spectrum``  Print a generator's power spectrum.
+``table N``   Regenerate paper Table N.
+``figure N``  Regenerate paper Figure N.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.spectrum import generator_spectrum, power_db
+from .bist.selection import propose_scheme, rank_generators
+from .errors import ReproError
+from .experiments import (
+    ExperimentContext,
+    figure1, figure2, figure3, figure4, figure5, figure6, figure7, figure8,
+    figure9, figure10, figure11, figure12, figure13,
+    table1, table2, table3, table4, table5, table6,
+)
+from .experiments.render import series_block
+from .faultsim import run_fault_coverage
+from .faultsim.report import coverage_summary, missed_fault_map
+from .filters import design_statistics
+from .generators import (
+    DecorrelatedLfsr,
+    MaxVarianceLfsr,
+    MixedModeLfsr,
+    RampGenerator,
+    Type1Lfsr,
+    Type2Lfsr,
+    UniformWhiteGenerator,
+)
+
+__all__ = ["main"]
+
+_TABLES = {1: table1, 2: table2, 3: table3, 4: table4, 5: table5, 6: table6}
+_FIGURES = {1: figure1, 2: figure2, 3: figure3, 4: figure4, 5: figure5,
+            6: figure6, 7: figure7, 8: figure8, 9: figure9, 10: figure10,
+            11: figure11, 12: figure12, 13: figure13}
+
+GENERATOR_CHOICES = ("lfsr1", "lfsr2", "lfsrd", "lfsrm", "ramp", "mixed",
+                     "white")
+
+
+def make_generator(kind: str, width: int, vectors: int):
+    """Instantiate a generator by its CLI name."""
+    if kind == "lfsr1":
+        return Type1Lfsr(width)
+    if kind == "lfsr2":
+        return Type2Lfsr(width)
+    if kind == "lfsrd":
+        return DecorrelatedLfsr(width)
+    if kind == "lfsrm":
+        return MaxVarianceLfsr(width)
+    if kind == "ramp":
+        return RampGenerator(width)
+    if kind == "mixed":
+        return MixedModeLfsr(width, switch_after=vectors // 2)
+    if kind == "white":
+        return UniformWhiteGenerator(width)
+    raise ReproError(f"unknown generator {kind!r}")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Frequency-domain compatible BIST for digital filters "
+                    "(Goodby & Orailoglu, DAC 1997 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("stats", help="design statistics (Table 1)")
+
+    grade = sub.add_parser("grade", help="run a BIST session")
+    grade.add_argument("--design", choices=("LP", "BP", "HP"), default="LP")
+    grade.add_argument("--generator", choices=GENERATOR_CHOICES,
+                       default="lfsr1")
+    grade.add_argument("--vectors", type=int, default=4096)
+    grade.add_argument("--width", type=int, default=12)
+    grade.add_argument("--map", action="store_true",
+                       help="also print where the missed faults live")
+    grade.add_argument("--report", action="store_true",
+                       help="also print the per-tap testability report")
+
+    rank = sub.add_parser("rank", help="rank generators against a design")
+    rank.add_argument("--design", choices=("LP", "BP", "HP"), default="LP")
+    rank.add_argument("--vectors", type=int, default=4096)
+
+    spectrum = sub.add_parser("spectrum", help="print a generator spectrum")
+    spectrum.add_argument("--generator", choices=GENERATOR_CHOICES,
+                          default="lfsr1")
+    spectrum.add_argument("--width", type=int, default=12)
+    spectrum.add_argument("--points", type=int, default=24)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=sorted(_TABLES))
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=sorted(_FIGURES))
+
+    report = sub.add_parser("report", help="write the full markdown report")
+    report.add_argument("--out", default="reproduction_report.md")
+    report.add_argument("--only", choices=("tables", "figures"),
+                        help="restrict to tables or figures")
+
+    export = sub.add_parser(
+        "export", help="export a design (JSON / structural Verilog)")
+    export.add_argument("--design", choices=("LP", "BP", "HP"), default="LP")
+    export.add_argument("--format", choices=("json", "verilog"),
+                        default="json")
+    export.add_argument("--out", required=True)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    ctx = ExperimentContext()
+
+    if args.command == "stats":
+        for name, design in ctx.designs.items():
+            s = design_statistics(design)
+            print(f"{name}: {s.adders} operators, {s.registers} registers, "
+                  f"in {s.input_width}b / coef {s.coefficient_width}b / "
+                  f"out {s.output_width}b, {s.faults} faults "
+                  f"({s.uncollapsed_faults} uncollapsed)")
+        return 0
+
+    if args.command == "grade":
+        design = ctx.designs[args.design]
+        gen = make_generator(args.generator, args.width, args.vectors)
+        result = run_fault_coverage(design, gen, args.vectors,
+                                    universe=ctx.universe(args.design))
+        print(coverage_summary(result))
+        if args.map:
+            print(missed_fault_map(result))
+        if args.report:
+            from .faultsim.report import testability_report
+            print(testability_report(design, result))
+        return 0
+
+    if args.command == "rank":
+        design = ctx.designs[args.design]
+        print(f"compatibility with {args.design}:")
+        for r in rank_generators(design):
+            print(f"  {r.generator.name:12s} {r.rating}  {r.ratio:7.3f}")
+        scheme = propose_scheme(design, n_vectors=args.vectors)
+        print(f"proposed scheme: {scheme.name}")
+        return 0
+
+    if args.command == "spectrum":
+        gen = make_generator(args.generator, args.width, 4096)
+        freqs, power = generator_spectrum(gen)
+        step = max(1, len(freqs) // args.points)
+        print(series_block(freqs[::step], power_db(power[::step]),
+                           "freq", "power (dB)", title=gen.name))
+        return 0
+
+    if args.command == "table":
+        print(_TABLES[args.number](ctx).render())
+        return 0
+
+    if args.command == "figure":
+        fig = _FIGURES[args.number]
+        result = fig() if args.number == 1 else fig(ctx)
+        print(result.render())
+        return 0
+
+    if args.command == "report":
+        from .experiments.report import save_report
+        include = None
+        if args.only == "tables":
+            include = ["Table"]
+        elif args.only == "figures":
+            include = ["Figure"]
+        save_report(args.out, ctx, include=include)
+        print(f"wrote {args.out}")
+        return 0
+
+    if args.command == "export":
+        design = ctx.designs[args.design]
+        if args.format == "json":
+            from .rtl import save_design
+            save_design(design, args.out)
+        else:
+            from .gates import elaborate, save_verilog
+            save_verilog(elaborate(design.graph), args.out,
+                         module_name=f"{args.design.lower()}_cut")
+        print(f"wrote {args.out}")
+        return 0
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Canonic-signed-digit coefficient arithmetic and multiplier planning."""
+
+from .encode import (
+    csd_decode,
+    csd_encode,
+    csd_from_string,
+    csd_nonzero_digits,
+    csd_to_string,
+    is_canonical,
+)
+from .optimize import QuantizedCoefficient, quantize_filter, quantize_to_csd
+from .multiplier import MultiplierPlan, ShiftAddTerm, plan_multiplier
+
+__all__ = [
+    "csd_encode",
+    "csd_decode",
+    "csd_nonzero_digits",
+    "is_canonical",
+    "csd_to_string",
+    "csd_from_string",
+    "QuantizedCoefficient",
+    "quantize_to_csd",
+    "quantize_filter",
+    "MultiplierPlan",
+    "ShiftAddTerm",
+    "plan_multiplier",
+]

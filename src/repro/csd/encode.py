@@ -1,0 +1,92 @@
+"""Canonic signed digit (CSD) encoding.
+
+A CSD representation writes an integer as a sum of signed powers of two
+with the *canonical* property that no two adjacent digits are nonzero.
+It is the standard representation for multiplierless filter hardware
+(Samueli 1989, FIRGEN): each nonzero digit of a coefficient becomes one
+shift-and-add/subtract term, so minimizing nonzero digits minimizes adder
+count.
+
+Digits are stored LSB-first as small ints in ``{-1, 0, +1}``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import CsdError
+
+__all__ = [
+    "csd_encode",
+    "csd_decode",
+    "csd_nonzero_digits",
+    "is_canonical",
+    "csd_to_string",
+    "csd_from_string",
+]
+
+
+def csd_encode(value: int) -> List[int]:
+    """Encode an integer as CSD digits, LSB first.
+
+    Uses the classic non-adjacent-form recurrence: while bits remain, an
+    odd residue takes digit ``2 - (value mod 4)`` (i.e. +1 when the next
+    bit is 0, −1 when it is 1, which guarantees the following digit is 0).
+    The encoding of 0 is the empty list.
+    """
+    if value == 0:
+        return []
+    digits: List[int] = []
+    v = int(value)
+    while v != 0:
+        if v & 1:
+            d = 2 - (v & 3)  # +1 if v ≡ 1 (mod 4), -1 if v ≡ 3 (mod 4)
+            digits.append(d)
+            v -= d
+        else:
+            digits.append(0)
+        v >>= 1
+    return digits
+
+
+def csd_decode(digits: Sequence[int]) -> int:
+    """Inverse of :func:`csd_encode` (accepts any signed-digit string)."""
+    value = 0
+    for k, d in enumerate(digits):
+        if d not in (-1, 0, 1):
+            raise CsdError(f"digit {d!r} at position {k} not in {{-1,0,1}}")
+        value += d << k
+    return value
+
+
+def csd_nonzero_digits(digits: Sequence[int]) -> int:
+    """Number of nonzero digits (the hardware adder-term count)."""
+    return sum(1 for d in digits if d != 0)
+
+
+def is_canonical(digits: Sequence[int]) -> bool:
+    """True when no two adjacent digits are both nonzero."""
+    return all(
+        not (digits[k] != 0 and digits[k + 1] != 0) for k in range(len(digits) - 1)
+    )
+
+
+def csd_to_string(digits: Sequence[int]) -> str:
+    """Render digits MSB-first using ``+``, ``-`` and ``0``."""
+    if not digits:
+        return "0"
+    symbols = {1: "+", 0: "0", -1: "-"}
+    return "".join(symbols[d] for d in reversed(list(digits)))
+
+
+def csd_from_string(text: str) -> List[int]:
+    """Parse the output of :func:`csd_to_string` back to LSB-first digits."""
+    mapping = {"+": 1, "0": 0, "-": -1}
+    try:
+        msb_first = [mapping[ch] for ch in text.strip()]
+    except KeyError as exc:
+        raise CsdError(f"invalid CSD character {exc.args[0]!r}") from None
+    digits = list(reversed(msb_first))
+    while digits and digits[-1] == 0:
+        digits.pop()
+    return digits

@@ -1,0 +1,108 @@
+"""Shift-and-add multiplier plans from CSD coefficients.
+
+A hardwired constant multiplier realizes ``y = c * x`` as a chain of
+adders/subtractors over arithmetically shifted copies of ``x``.  This
+module turns a :class:`~repro.csd.optimize.QuantizedCoefficient` into an
+ordered term list that the RTL builder instantiates one ripple-carry
+operator at a time.
+
+Terms are emitted most-significant first so every intermediate partial
+sum is dominated by its first term; the running sum is therefore always
+the *primary* (high-variance) adder input, matching the variance-mismatch
+orientation the fault model expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import CsdError
+from .optimize import QuantizedCoefficient
+
+__all__ = ["ShiftAddTerm", "MultiplierPlan", "plan_multiplier"]
+
+
+@dataclass(frozen=True)
+class ShiftAddTerm:
+    """One signed, shifted copy of the multiplier input.
+
+    ``shift`` is the right-shift amount applied to ``x`` (the term weight
+    is ``2**-shift`` relative to ``x`` scaled by the coefficient grid),
+    and ``sign`` is +1 (add) or −1 (subtract).
+    """
+
+    shift: int
+    sign: int
+
+
+@dataclass(frozen=True)
+class MultiplierPlan:
+    """Ordered realization of ``|c| * x`` as shift-add terms.
+
+    Attributes
+    ----------
+    coefficient:
+        The quantized coefficient this plan realizes.
+    terms:
+        Most-significant-first shift-add terms for the coefficient
+        *magnitude*.  Empty for a zero coefficient.
+    negate:
+        True when the coefficient is negative; the surrounding structure
+        (e.g. the tap accumulator) absorbs the negation as a subtraction.
+    """
+
+    coefficient: QuantizedCoefficient
+    terms: Tuple[ShiftAddTerm, ...]
+    negate: bool
+
+    @property
+    def is_zero(self) -> bool:
+        """True for a zero coefficient (no hardware instantiated)."""
+        return not self.terms
+
+    @property
+    def adder_count(self) -> int:
+        """Ripple-carry operators inside the multiplier itself."""
+        return max(0, len(self.terms) - 1)
+
+    @property
+    def magnitude(self) -> float:
+        """Realized coefficient magnitude ``|c|``."""
+        return abs(self.coefficient.value)
+
+    def partial_magnitude_bound(self, upto: int) -> float:
+        """Worst-case magnitude of the partial sum of the first ``upto`` terms.
+
+        Relative to a unit-magnitude input; used by the scaling pass to
+        size intermediate nodes.
+        """
+        return sum(2.0 ** -t.shift for t in self.terms[:upto])
+
+
+def plan_multiplier(coefficient: QuantizedCoefficient) -> MultiplierPlan:
+    """Build the shift-add plan for one quantized coefficient.
+
+    Digit positions are converted to right shifts relative to the input:
+    a digit at CSD position ``k`` (weight ``2**k`` on the integer grid)
+    contributes weight ``2**(k - frac)``, i.e. a right shift of
+    ``frac - k`` — always non-negative for coefficients with ``|c| < 1``.
+    """
+    coef = coefficient
+    if coef.raw == 0:
+        return MultiplierPlan(coefficient=coef, terms=(), negate=False)
+    terms: List[ShiftAddTerm] = []
+    for k, d in enumerate(coef.digits):
+        if d == 0:
+            continue
+        shift = coef.frac - k
+        if shift < 0:
+            raise CsdError(
+                f"coefficient magnitude {coef.value} >= 1 cannot be realized "
+                "as right shifts only"
+            )
+        terms.append(ShiftAddTerm(shift=shift, sign=d))
+    terms.sort(key=lambda t: t.shift)  # most significant (smallest shift) first
+    if terms[0].sign < 0:
+        raise CsdError("canonical CSD of a magnitude must lead with a + digit")
+    return MultiplierPlan(coefficient=coef, terms=tuple(terms), negate=coef.raw < 0)

@@ -1,0 +1,130 @@
+"""CSD coefficient quantization under a nonzero-digit budget.
+
+Reduced-complexity filters (Section 3 of the paper, refs [6]-[8]) restrict
+each coefficient to a small number of signed power-of-two terms.  This
+module quantizes ideal (float) coefficients onto that constrained grid:
+
+* :func:`quantize_to_csd` finds, for one coefficient, the representable
+  value closest to the ideal one among all candidates within a local
+  search window that satisfy the digit budget — the local-search flavour
+  of Samueli's algorithm.
+* :func:`quantize_filter` applies it to a whole tap vector and reports
+  aggregate statistics (adder terms, quantization error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import CsdError
+from .encode import csd_decode, csd_encode, csd_nonzero_digits
+
+__all__ = ["QuantizedCoefficient", "quantize_to_csd", "quantize_filter"]
+
+
+@dataclass(frozen=True)
+class QuantizedCoefficient:
+    """One coefficient mapped onto the CSD grid.
+
+    Attributes
+    ----------
+    ideal:
+        The requested float value.
+    raw:
+        Quantized integer such that ``value = raw * 2**-frac``.
+    frac:
+        Number of fractional bits of the grid.
+    digits:
+        CSD digits of ``abs(raw)``, LSB first.  The sign is carried by
+        ``raw`` so that downstream hardware can realize negative
+        coefficients with a subtractor at the accumulation stage.
+    """
+
+    ideal: float
+    raw: int
+    frac: int
+    digits: tuple
+
+    @property
+    def value(self) -> float:
+        """Quantized engineering value."""
+        return self.raw * 2.0**-self.frac
+
+    @property
+    def nonzeros(self) -> int:
+        """Number of shift-add terms needed to realize the magnitude."""
+        return csd_nonzero_digits(self.digits)
+
+    @property
+    def error(self) -> float:
+        """Absolute quantization error ``|value - ideal|``."""
+        return abs(self.value - self.ideal)
+
+
+def quantize_to_csd(
+    value: float,
+    frac: int,
+    max_nonzeros: int,
+    search_radius: int = 64,
+) -> QuantizedCoefficient:
+    """Quantize ``value`` to at most ``max_nonzeros`` CSD digits.
+
+    The search examines every integer within ``search_radius`` grid steps
+    of the rounded ideal value and keeps the closest one whose CSD form
+    respects the budget.  Zero is always a candidate, so the search cannot
+    fail; a tight budget simply forces coarser coefficients.
+    """
+    if max_nonzeros < 1:
+        raise CsdError(f"max_nonzeros must be >= 1, got {max_nonzeros}")
+    if frac < 0:
+        raise CsdError(f"frac must be >= 0, got {frac}")
+    target = value * (1 << frac)
+    center = int(np.floor(target + 0.5))
+    candidates = set(range(center - search_radius, center + search_radius + 1))
+    # The greedy fallback — keep only the most significant budgeted digits
+    # of the centred CSD — is always within budget, so a coarse value
+    # never loses to zero just because the local window missed it.
+    candidates.add(_truncate_to_budget(center, max_nonzeros))
+    best_raw = 0
+    best_err = abs(target)  # error of the zero candidate, in grid units
+    for candidate in sorted(candidates):
+        if candidate == 0:
+            continue
+        if csd_nonzero_digits(csd_encode(abs(candidate))) > max_nonzeros:
+            continue
+        err = abs(candidate - target)
+        if err < best_err - 1e-12:
+            best_raw = candidate
+            best_err = err
+    digits = tuple(csd_encode(abs(best_raw)))
+    return QuantizedCoefficient(ideal=float(value), raw=best_raw, frac=frac, digits=digits)
+
+
+def _truncate_to_budget(value: int, max_nonzeros: int) -> int:
+    """Keep only the ``max_nonzeros`` most significant CSD digits."""
+    digits = csd_encode(abs(value))
+    kept = 0
+    for k in range(len(digits) - 1, -1, -1):
+        if digits[k] != 0:
+            kept += 1
+            if kept == max_nonzeros:
+                digits = [0] * k + digits[k:]
+                break
+    magnitude = csd_decode(digits)
+    return -magnitude if value < 0 else magnitude
+
+
+def quantize_filter(
+    coefficients: Sequence[float],
+    frac: int,
+    max_nonzeros: int,
+    search_radius: int = 64,
+) -> List[QuantizedCoefficient]:
+    """Quantize a tap vector coefficient-by-coefficient."""
+    return [
+        quantize_to_csd(float(c), frac, max_nonzeros, search_radius)
+        for c in coefficients
+    ]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library-level failures with a
+single ``except`` clause while letting programming errors (``TypeError``,
+``IndexError`` ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FixedPointError(ReproError):
+    """Invalid fixed-point format or out-of-range raw value."""
+
+
+class CsdError(ReproError):
+    """Invalid canonic-signed-digit encoding or unsatisfiable constraint."""
+
+
+class DesignError(ReproError):
+    """Malformed RTL graph or unrealizable filter design."""
+
+
+class SimulationError(ReproError):
+    """Datapath or gate-level simulation failure."""
+
+
+class FaultModelError(ReproError):
+    """Inconsistent fault universe or unknown fault reference."""
+
+
+class GeneratorError(ReproError):
+    """Invalid test-pattern-generator configuration."""
+
+
+class AnalysisError(ReproError):
+    """Frequency-domain or statistical analysis failure."""

@@ -1,0 +1,122 @@
+"""Shared experiment parameters and the memoizing experiment context.
+
+All tables and figures draw from the same few coverage runs; the
+:class:`ExperimentContext` caches designs, fault universes and coverage
+sessions so a full benchmark sweep builds each once.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..faultsim.dictionary import FaultUniverse, build_fault_universe
+from ..faultsim.engine import CoverageResult, run_fault_coverage
+from ..filters.reference import reference_designs
+from ..generators.base import TestGenerator
+from ..generators.mixed import MixedModeLfsr
+from ..generators.ramp import RampGenerator
+from ..generators.variants import (
+    DecorrelatedLfsr,
+    MaxVarianceLfsr,
+    Type1Lfsr,
+    Type2Lfsr,
+)
+from ..rtl.build import FilterDesign
+
+__all__ = ["ExperimentConfig", "ExperimentContext", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by the reproduction experiments.
+
+    Defaults follow the paper: 12-bit generators, 4k-vector sessions for
+    Tables 4-5 and Figures 10-12, an 8k mixed session (switch at 4k) for
+    Table 6, and a 2k switch point for Figure 13.  Set the environment
+    variable ``REPRO_FAST=1`` to quarter the vector counts during smoke
+    runs.
+    """
+
+    generator_width: int = 12
+    table4_vectors: int = 4096
+    table6_vectors: int = 8192
+    table6_switch: int = 4096
+    fig13_switch: int = 2048
+    analysis_tap: int = 20  # the paper's running example
+
+    @classmethod
+    def from_env(cls) -> "ExperimentConfig":
+        if os.environ.get("REPRO_FAST"):
+            return cls(table4_vectors=1024, table6_vectors=2048,
+                       table6_switch=1024, fig13_switch=512)
+        return cls()
+
+
+DEFAULT_CONFIG = ExperimentConfig()
+
+
+class ExperimentContext:
+    """Caches designs, universes and coverage sessions across experiments."""
+
+    def __init__(self, config: Optional[ExperimentConfig] = None):
+        self.config = config or ExperimentConfig.from_env()
+        self._designs: Optional[Dict[str, FilterDesign]] = None
+        self._universes: Dict[str, FaultUniverse] = {}
+        self._coverage: Dict[Tuple[str, str, int], CoverageResult] = {}
+
+    # ------------------------------------------------------------------
+    # Designs and fault universes
+    # ------------------------------------------------------------------
+    @property
+    def designs(self) -> Dict[str, FilterDesign]:
+        if self._designs is None:
+            self._designs = reference_designs()
+        return self._designs
+
+    def universe(self, name: str) -> FaultUniverse:
+        if name not in self._universes:
+            self._universes[name] = build_fault_universe(
+                self.designs[name].graph, name=name
+            )
+        return self._universes[name]
+
+    # ------------------------------------------------------------------
+    # Generators
+    # ------------------------------------------------------------------
+    def standard_generators(self) -> Dict[str, TestGenerator]:
+        """The four generators of Tables 4-5 / Figures 10-12."""
+        w = self.config.generator_width
+        return {
+            "LFSR-1": Type1Lfsr(w),
+            "LFSR-D": DecorrelatedLfsr(w),
+            "LFSR-M": MaxVarianceLfsr(w),
+            "Ramp": RampGenerator(w),
+        }
+
+    def spectrum_generators(self) -> Dict[str, TestGenerator]:
+        """The five generators whose spectra Figure 4 plots."""
+        w = self.config.generator_width
+        gens = self.standard_generators()
+        gens["LFSR-2"] = Type2Lfsr(w)
+        return gens
+
+    def mixed_generator(self, switch_after: Optional[int] = None) -> MixedModeLfsr:
+        return MixedModeLfsr(self.config.generator_width,
+                             switch_after=switch_after
+                             if switch_after is not None
+                             else self.config.table6_switch)
+
+    # ------------------------------------------------------------------
+    # Coverage runs (memoized)
+    # ------------------------------------------------------------------
+    def coverage(self, design_name: str, generator: TestGenerator,
+                 n_vectors: int) -> CoverageResult:
+        key = (design_name, generator.name, n_vectors)
+        if key not in self._coverage:
+            self._coverage[key] = run_fault_coverage(
+                self.designs[design_name], generator, n_vectors,
+                universe=self.universe(design_name),
+            )
+        return self._coverage[key]

@@ -1,0 +1,84 @@
+"""Plain-text rendering for experiment outputs.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ascii_table", "series_block", "waveform_sketch"]
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                title: str = "") -> str:
+    """A simple fixed-width table."""
+    cols = len(headers)
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != cols:
+            raise ValueError(f"row {row!r} has {len(row)} cells, want {cols}")
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def series_block(x: Sequence[float], y: Sequence[float],
+                 x_label: str, y_label: str, title: str = "",
+                 max_points: int = 24) -> str:
+    """Print a data series as aligned (x, y) pairs, thinned if long."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if len(x) != len(y):
+        raise ValueError("series lengths differ")
+    idx = np.linspace(0, len(x) - 1, min(max_points, len(x))).astype(int)
+    idx = np.unique(idx)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_label:>12s}  {y_label}")
+    for i in idx:
+        lines.append(f"{x[i]:12.5g}  {y[i]:.6g}")
+    return "\n".join(lines)
+
+
+def waveform_sketch(samples: Sequence[float], width: int = 64,
+                    height: int = 12, title: str = "") -> str:
+    """A crude ASCII waveform plot, for eyeballing Figure 2-style spikes."""
+    s = np.asarray(samples, dtype=np.float64)
+    if len(s) == 0:
+        return "(empty waveform)"
+    idx = np.linspace(0, len(s) - 1, width).astype(int)
+    vals = s[idx]
+    lo, hi = float(np.min(s)), float(np.max(s))
+    if hi - lo < 1e-12:
+        hi = lo + 1e-12
+    rows = []
+    levels = np.round((vals - lo) / (hi - lo) * (height - 1)).astype(int)
+    for r in range(height - 1, -1, -1):
+        row = "".join("*" if lv == r else " " for lv in levels)
+        rows.append(row)
+    out = []
+    if title:
+        out.append(title)
+    out.append(f"max {hi:+.4f}")
+    out.extend(rows)
+    out.append(f"min {lo:+.4f}")
+    return "\n".join(out)

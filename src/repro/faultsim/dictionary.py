@@ -1,0 +1,186 @@
+"""Design-wide fault universe assembly.
+
+Places the collapsed cell fault classes of
+:mod:`repro.gates.cells` at every bit of every adder/subtractor in a
+datapath and packs the result into flat numpy arrays for the coverage
+engine: one row per *cell* (an operator bit position) and one entry per
+*fault* (a collapsed class at a cell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import FaultModelError
+from ..gates.cells import CellFault, variant_for_bit
+from ..rtl.graph import Graph
+from ..rtl.nodes import OpKind
+
+__all__ = ["DesignFault", "FaultUniverse", "build_fault_universe",
+           "build_universe_from_cells"]
+
+
+@dataclass(frozen=True)
+class DesignFault:
+    """One collapsed fault class at a concrete (operator, bit) location.
+
+    ``effective_mask`` is the detecting-pattern mask restricted to codes
+    that are structurally feasible at this cell (see
+    :mod:`repro.faultsim.feasibility`); it equals ``detect_mask`` when no
+    pruning information was supplied.
+    """
+
+    index: int
+    node_id: int
+    bit: int
+    cell_fault: CellFault
+    effective_mask: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"node{self.node_id}.bit{self.bit}.{self.cell_fault.name}"
+
+
+@dataclass
+class FaultUniverse:
+    """The complete single-stuck-at universe of a datapath's operators.
+
+    Attributes
+    ----------
+    cells:
+        ``(node_id, bit)`` per cell row, in a fixed order shared with the
+        pattern tracker.
+    fault_cell:
+        For each fault, the row index of its cell.
+    fault_mask:
+        For each fault, the 8-bit detecting-pattern mask.
+    """
+
+    design_name: str
+    faults: List[DesignFault]
+    cells: List[Tuple[int, int]]
+    cell_index: Dict[Tuple[int, int], int]
+    fault_cell: np.ndarray
+    fault_mask: np.ndarray
+    uncollapsed_count: int
+    #: Fault classes removed as structurally untestable (pruning on).
+    untestable_count: int = 0
+
+    @property
+    def fault_count(self) -> int:
+        """Number of collapsed fault classes (the headline fault count)."""
+        return len(self.faults)
+
+    @property
+    def cell_count(self) -> int:
+        return len(self.cells)
+
+    def faults_at(self, node_id: int, bit: int) -> List[DesignFault]:
+        """All fault classes of one cell."""
+        if (node_id, bit) not in self.cell_index:
+            raise FaultModelError(f"no cell at node {node_id} bit {bit}")
+        return [f for f in self.faults if f.node_id == node_id and f.bit == bit]
+
+
+def build_universe_from_cells(cell_specs, name: str) -> FaultUniverse:
+    """Assemble a universe from explicit cell descriptions.
+
+    ``cell_specs`` is an iterable of ``(node_id, bit, variant,
+    feasible_mask)`` where ``variant`` is a
+    :class:`~repro.gates.cells.CellVariant`.  Cells of one ``node_id``
+    must be supplied contiguously starting at bit 0 (the pattern tracker
+    relies on that layout).  Used by non-graph operator styles such as
+    the carry-save accumulation chain.
+    """
+    faults: List[DesignFault] = []
+    cells: List[Tuple[int, int]] = []
+    cell_index: Dict[Tuple[int, int], int] = {}
+    fault_cell: List[int] = []
+    fault_mask: List[int] = []
+    uncollapsed = 0
+    untestable = 0
+    for node_id, bit, variant, feasible in cell_specs:
+        row = len(cells)
+        cells.append((node_id, bit))
+        cell_index[(node_id, bit)] = row
+        uncollapsed += variant.uncollapsed_count
+        for cf in variant.faults:
+            effective = cf.detect_mask & feasible
+            if effective == 0:
+                untestable += 1
+                continue
+            faults.append(
+                DesignFault(index=len(faults), node_id=node_id, bit=bit,
+                            cell_fault=cf, effective_mask=effective)
+            )
+            fault_cell.append(row)
+            fault_mask.append(effective)
+    return FaultUniverse(
+        design_name=name,
+        faults=faults,
+        cells=cells,
+        cell_index=cell_index,
+        fault_cell=np.array(fault_cell, dtype=np.int64),
+        fault_mask=np.array(fault_mask, dtype=np.uint8),
+        uncollapsed_count=uncollapsed,
+        untestable_count=untestable,
+    )
+
+
+def build_fault_universe(
+    graph: Graph, name: str = "", prune_untestable: bool = True
+) -> FaultUniverse:
+    """Enumerate the collapsed adder/subtractor fault universe of a graph.
+
+    With ``prune_untestable`` (default), fault classes whose detecting
+    patterns are structurally infeasible at their cell are excluded —
+    matching the paper's flow, where scaling and redundant-operator
+    elimination (refs [2, 3]) remove such redundancy before fault counts
+    are reported.  Pass ``False`` for the raw structural universe.
+    """
+    feasible = None
+    if prune_untestable:
+        from .feasibility import design_feasible_masks
+        feasible = design_feasible_masks(graph)
+    faults: List[DesignFault] = []
+    cells: List[Tuple[int, int]] = []
+    cell_index: Dict[Tuple[int, int], int] = {}
+    fault_cell: List[int] = []
+    fault_mask: List[int] = []
+    uncollapsed = 0
+    untestable = 0
+    for node in graph.arithmetic_nodes:
+        width = node.fmt.width
+        is_sub = node.kind is OpKind.SUB
+        for bit in range(width):
+            row = len(cells)
+            cells.append((node.nid, bit))
+            cell_index[(node.nid, bit)] = row
+            variant = variant_for_bit(bit, width, is_sub)
+            uncollapsed += variant.uncollapsed_count
+            cell_feasible = 0xFF if feasible is None else feasible[(node.nid, bit)]
+            for cf in variant.faults:
+                effective = cf.detect_mask & cell_feasible
+                if effective == 0:
+                    untestable += 1
+                    continue
+                faults.append(
+                    DesignFault(index=len(faults), node_id=node.nid,
+                                bit=bit, cell_fault=cf,
+                                effective_mask=effective)
+                )
+                fault_cell.append(row)
+                fault_mask.append(effective)
+    return FaultUniverse(
+        design_name=name or graph.name,
+        faults=faults,
+        cells=cells,
+        cell_index=cell_index,
+        fault_cell=np.array(fault_cell, dtype=np.int64),
+        fault_mask=np.array(fault_mask, dtype=np.uint8),
+        uncollapsed_count=uncollapsed,
+        untestable_count=untestable,
+    )

@@ -1,0 +1,59 @@
+"""Bridging fault universe entries to injectable faults.
+
+Turns a :class:`~repro.faultsim.dictionary.DesignFault` into the
+:class:`~repro.rtl.simulate.InjectedFault` the RTL simulator understands,
+so any fault graded by the coverage engine can be *injected* and watched
+at the filter output — the Section 5 / Figure 2 experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..generators.base import TestGenerator, match_width
+from ..rtl.build import FilterDesign
+from ..rtl.simulate import InjectedFault, simulate
+from .dictionary import DesignFault
+
+__all__ = ["to_injected_fault", "faulty_output", "fault_effect"]
+
+
+def to_injected_fault(fault: DesignFault) -> InjectedFault:
+    """RTL-injectable form of a universe fault."""
+    return InjectedFault(
+        node_id=fault.node_id,
+        bit=fault.bit,
+        sum_lut=fault.cell_fault.sum_array(),
+        cout_lut=fault.cell_fault.cout_array(),
+        label=fault.label,
+    )
+
+
+def faulty_output(
+    design: FilterDesign,
+    fault: DesignFault,
+    stimulus: TestGenerator,
+    n_vectors: int,
+) -> np.ndarray:
+    """Normalized output of the *faulty* filter under a stimulus."""
+    raw = stimulus.sequence(n_vectors)
+    raw = match_width(raw, stimulus.width, design.input_fmt.width)
+    result = simulate(design.graph, raw, fault=to_injected_fault(fault))
+    return result.output
+
+
+def fault_effect(
+    design: FilterDesign,
+    fault: DesignFault,
+    stimulus: TestGenerator,
+    n_vectors: int,
+) -> np.ndarray:
+    """Output error waveform (faulty minus fault-free), normalized.
+
+    Nonzero samples are the "spikes" of Figure 2.
+    """
+    raw = stimulus.sequence(n_vectors)
+    raw = match_width(raw, stimulus.width, design.input_fmt.width)
+    good = simulate(design.graph, raw).output
+    bad = simulate(design.graph, raw, fault=to_injected_fault(fault)).output
+    return bad - good

@@ -1,0 +1,117 @@
+"""First-occurrence tracking of full-adder input patterns.
+
+The fast coverage engine reduces fault simulation to one question per
+cell and pattern: *when does pattern p first appear at cell c?*  This
+module answers it by hooking the RTL simulator's per-operator callback,
+deriving the ripple-carry cell inputs from the aligned operand words and
+recording the earliest vector index of each of the 8 patterns at each
+cell.
+
+The tracker is incremental: feed it several simulation segments (e.g. a
+mixed-mode session's phases) and indices keep counting across segments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..fixedpoint import cell_pattern_codes
+from ..rtl.graph import Graph
+from ..rtl.nodes import Node, OpKind
+from ..rtl.simulate import simulate
+from .dictionary import FaultUniverse
+
+__all__ = ["PatternTracker", "track_patterns"]
+
+UNSEEN = np.iinfo(np.int64).max
+
+
+class PatternTracker:
+    """Records the first vector index of each (cell, pattern) occurrence."""
+
+    def __init__(self, universe: FaultUniverse):
+        self.universe = universe
+        self.first_seen = np.full((universe.cell_count, 8), UNSEEN,
+                                  dtype=np.int64)
+        self.offset = 0  # vectors consumed so far
+
+    # ------------------------------------------------------------------
+    # Simulator hook
+    # ------------------------------------------------------------------
+    def hook(self, node: Node, a: np.ndarray, b: np.ndarray) -> None:
+        """Adder-hook callback: consume one operator's aligned operands."""
+        width = node.fmt.width
+        is_sub = node.kind is OpKind.SUB
+        codes = cell_pattern_codes(a, b, 1 if is_sub else 0, width,
+                                   invert_b=is_sub)
+        self.observe_codes(node.nid, codes)
+
+    def observe_codes(self, node_id: int, codes: np.ndarray) -> None:
+        """Record per-cell pattern codes for one operator.
+
+        ``codes`` has shape ``(width, T)``; row ``k`` holds the 3-bit
+        input codes of the operator's bit-``k`` cell over the segment.
+        The universe's cells for an operator are contiguous and start at
+        bit 0, so one slice covers them all.  Usable for any operator
+        style (ripple-carry, carry-save compressor) that registered its
+        cells under ``node_id``.
+        """
+        width = codes.shape[0]
+        base = self.universe.cell_index[(node_id, 0)]
+        first = self.first_seen[base:base + width]  # view
+        for p in range(8):
+            hits = codes == p  # (width, T)
+            any_hit = hits.any(axis=1)
+            if not np.any(any_hit):
+                continue
+            idx = hits.argmax(axis=1) + self.offset
+            update = any_hit & (idx < first[:, p])
+            first[update, p] = idx[update]
+
+    def advance(self, n_vectors: int) -> None:
+        """Declare a simulation segment of ``n_vectors`` consumed."""
+        self.offset += n_vectors
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def vectors_seen(self) -> int:
+        return self.offset
+
+    def seen_mask(self, at: Optional[int] = None) -> np.ndarray:
+        """(cells, 8) bool: pattern seen strictly before vector ``at``."""
+        limit = self.offset if at is None else at
+        return self.first_seen < limit
+
+    def untested_patterns(self, node_id: int, bit: int) -> list:
+        """Patterns never observed at one cell (as test numbers Tn)."""
+        row = self.universe.cell_index[(node_id, bit)]
+        return [p for p in range(8) if self.first_seen[row, p] == UNSEEN]
+
+
+def track_patterns(
+    graph: Graph,
+    universe: FaultUniverse,
+    input_raw: np.ndarray,
+    tracker: Optional[PatternTracker] = None,
+) -> PatternTracker:
+    """Simulate ``input_raw`` and record pattern first occurrences.
+
+    Pass an existing ``tracker`` to continue a session (indices keep
+    counting), e.g. for mode-switched generators simulated per phase.
+    NOTE: continuing a session re-runs the datapath from reset registers;
+    for the long FIR pipelines studied here the few warm-up vectors are
+    irrelevant, and generators like :class:`MixedModeLfsr` avoid the
+    issue entirely by producing the whole session in one sequence.
+    """
+    if tracker is None:
+        tracker = PatternTracker(universe)
+    if tracker.universe is not universe:
+        raise SimulationError("tracker belongs to a different fault universe")
+    simulate(graph, input_raw, adder_hook=tracker.hook)
+    tracker.advance(len(input_raw))
+    return tracker

@@ -1,0 +1,46 @@
+"""Filter prototype design and the three Table 1 reference datapaths."""
+
+from .design import (
+    BANDPASS_SPEC,
+    BANDSTOP_SPEC,
+    HIGHPASS_SPEC,
+    LOWPASS_SPEC,
+    FilterSpec,
+    design_prototype,
+    response_magnitude,
+)
+from .reference import (
+    ACC_FRAC,
+    ACC_WIDTH,
+    INPUT_FMT,
+    bandpass_design,
+    build_reference,
+    highpass_design,
+    lowpass_design,
+    reference_designs,
+)
+from .explore import TradeoffPoint, explore_design_space, response_quality
+from .stats import DesignStats, design_statistics
+
+__all__ = [
+    "FilterSpec",
+    "LOWPASS_SPEC",
+    "BANDPASS_SPEC",
+    "BANDSTOP_SPEC",
+    "HIGHPASS_SPEC",
+    "design_prototype",
+    "response_magnitude",
+    "lowpass_design",
+    "bandpass_design",
+    "highpass_design",
+    "reference_designs",
+    "build_reference",
+    "INPUT_FMT",
+    "ACC_FRAC",
+    "ACC_WIDTH",
+    "TradeoffPoint",
+    "explore_design_space",
+    "response_quality",
+    "DesignStats",
+    "design_statistics",
+]

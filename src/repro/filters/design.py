@@ -1,0 +1,105 @@
+"""Equiripple FIR prototype design (Parks-McClellan).
+
+The paper's three designs came from FIRGEN-style CAD flows.  We rebuild
+architecturally equivalent filters: a Parks-McClellan prototype, scaled
+to unit L1 norm, quantized to canonic-signed-digit coefficients with a
+small nonzero-digit budget, and mapped onto the transposed tap cascade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from ..errors import DesignError
+
+__all__ = ["FilterSpec", "LOWPASS_SPEC", "BANDPASS_SPEC", "HIGHPASS_SPEC",
+           "BANDSTOP_SPEC", "design_prototype"]
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """A piecewise-constant magnitude specification.
+
+    ``bands`` are normalized frequency edges (0 to 0.5, cycles/sample),
+    ``desired`` the target gain per band, ``weight`` the ripple weights.
+    """
+
+    name: str
+    kind: str
+    numtaps: int
+    bands: Tuple[float, ...]
+    desired: Tuple[float, ...]
+    weight: Tuple[float, ...]
+
+    @property
+    def passband(self) -> Tuple[float, float]:
+        """The (first) unity-gain band's frequency edges."""
+        for i, d in enumerate(self.desired):
+            if d > 0.5:
+                return (self.bands[2 * i], self.bands[2 * i + 1])
+        raise DesignError(f"{self.name} has no passband")
+
+
+#: A narrow-band lowpass — "the low cutoff frequency of the filter"
+#: combines with the Type 1 LFSR rolloff to cause the Section 5 miss.
+LOWPASS_SPEC = FilterSpec(
+    name="LP", kind="lowpass", numtaps=61,
+    bands=(0.0, 0.035, 0.08, 0.5),
+    desired=(1.0, 0.0),
+    weight=(1.0, 2.0),
+)
+
+#: A mid-band bandpass with a comparatively wide passband (Section 8
+#: notes it is "somewhat easier to test ... partly due to its wider
+#: passband").
+BANDPASS_SPEC = FilterSpec(
+    name="BP", kind="bandpass", numtaps=59,
+    bands=(0.0, 0.135, 0.195, 0.345, 0.405, 0.5),
+    desired=(0.0, 1.0, 0.0),
+    weight=(2.0, 1.0, 2.0),
+)
+
+#: A band-stop design, beyond the paper's three types: two passbands
+#: straddling a notch.  Used to check that the compatibility machinery
+#: generalizes (a compatible generator must power *both* passbands).
+BANDSTOP_SPEC = FilterSpec(
+    name="BS", kind="bandstop", numtaps=61,
+    bands=(0.0, 0.1, 0.17, 0.3, 0.37, 0.5),
+    desired=(1.0, 0.0, 1.0),
+    weight=(1.0, 2.0, 1.0),
+)
+
+#: A highpass whose passband sits where the Ramp generator has
+#: essentially no power.
+HIGHPASS_SPEC = FilterSpec(
+    name="HP", kind="highpass", numtaps=61,
+    bands=(0.0, 0.295, 0.355, 0.5),
+    desired=(0.0, 1.0),
+    weight=(2.0, 1.0),
+)
+
+
+def design_prototype(spec: FilterSpec) -> np.ndarray:
+    """Parks-McClellan coefficients for a spec (unquantized, unscaled)."""
+    if len(spec.bands) != 2 * len(spec.desired):
+        raise DesignError(f"{spec.name}: bands/desired mismatch")
+    if spec.numtaps % 2 == 0 and spec.desired[-1] > 0.5:
+        raise DesignError(
+            f"{spec.name}: even-length symmetric FIRs force a null at "
+            "Nyquist; use an odd tap count for highpass responses"
+        )
+    coefs = sp_signal.remez(
+        spec.numtaps, spec.bands, spec.desired, weight=spec.weight, fs=1.0
+    )
+    return np.asarray(coefs, dtype=np.float64)
+
+
+def response_magnitude(coefs: Sequence[float], n_points: int = 2048
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """(freqs, |H|) of a coefficient vector on [0, 0.5]."""
+    w, h = sp_signal.freqz(coefs, worN=n_points, fs=1.0)
+    return w, np.abs(h)

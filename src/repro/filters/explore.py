@@ -1,0 +1,84 @@
+"""CSD design-space exploration.
+
+Reduced-complexity filter design (FIRGEN, Samueli — refs [6, 7] of the
+paper) is a trade between hardware cost and frequency response quality:
+fewer CSD digits per coefficient mean fewer ripple-carry operators but a
+coarser coefficient grid and degraded stopband.  This module sweeps the
+(digit budget × coefficient precision) plane and reports the realized
+operator count alongside the achieved response, so a designer can pick
+the paper-style operating point (budget 4 at 14-15 fractional bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..rtl.build import design_from_coefficients
+from .design import FilterSpec, design_prototype
+
+__all__ = ["TradeoffPoint", "explore_design_space", "response_quality"]
+
+
+def response_quality(coefficients: np.ndarray, spec: FilterSpec,
+                     n_points: int = 2048) -> Tuple[float, float]:
+    """(stopband attenuation dB, passband ripple dB) of a realization."""
+    freqs = np.linspace(0.0, 0.5, n_points)
+    k = np.arange(len(coefficients))
+    h = np.abs(np.exp(-2j * np.pi * np.outer(freqs, k)) @ coefficients)
+    # normalize to the mean passband gain so scaling drops out
+    p_lo, p_hi = spec.passband
+    pass_mask = (freqs >= p_lo) & (freqs <= p_hi)
+    gain = float(np.mean(h[pass_mask]))
+    h = h / max(gain, 1e-12)
+    ripple = 20.0 * np.log10(max(np.max(h[pass_mask]), 1e-12) /
+                             max(np.min(h[pass_mask]), 1e-12))
+    atten = np.inf
+    for i, desired in enumerate(spec.desired):
+        if desired > 0.5:
+            continue
+        lo, hi = spec.bands[2 * i], spec.bands[2 * i + 1]
+        stop_mask = (freqs >= lo) & (freqs <= hi)
+        worst = float(np.max(h[stop_mask]))
+        atten = min(atten, -20.0 * np.log10(max(worst, 1e-12)))
+    return atten, ripple
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One realization in the cost/quality plane."""
+
+    max_nonzeros: int
+    coef_frac: int
+    adders: int
+    stopband_db: float
+    passband_ripple_db: float
+
+    def row(self) -> List[object]:
+        return [self.max_nonzeros, self.coef_frac, self.adders,
+                round(self.stopband_db, 1), round(self.passband_ripple_db, 2)]
+
+
+def explore_design_space(
+    spec: FilterSpec,
+    budgets: Sequence[int] = (1, 2, 3, 4, 6),
+    fracs: Sequence[int] = (12, 15),
+) -> List[TradeoffPoint]:
+    """Sweep digit budgets and coefficient precisions for one spec."""
+    prototype = design_prototype(spec)
+    points: List[TradeoffPoint] = []
+    for frac in fracs:
+        for budget in budgets:
+            design = design_from_coefficients(
+                prototype, name=f"{spec.name}-b{budget}-f{frac}",
+                coef_frac=frac, max_nonzeros=budget,
+            )
+            atten, ripple = response_quality(design.coefficients, spec)
+            points.append(TradeoffPoint(
+                max_nonzeros=budget, coef_frac=frac,
+                adders=design.adder_count,
+                stopband_db=atten, passband_ripple_db=ripple,
+            ))
+    return points

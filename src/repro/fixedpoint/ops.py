@@ -1,0 +1,113 @@
+"""Bit-exact arithmetic primitives shared by the RTL and gate simulators.
+
+These functions operate on raw two's-complement integers (scalars or
+``numpy`` integer arrays) and reproduce hardware behaviour exactly:
+
+* additions and subtractions wrap on overflow (ripple-carry adders have no
+  saturation logic);
+* right shifts are arithmetic and truncate toward minus infinity;
+* :func:`carry_chain` exposes the internal carry of a ripple-carry adder,
+  which is what the fault model needs to know which full-adder input
+  pattern each cell received.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FixedPointError
+from .qformat import wrap
+
+__all__ = [
+    "wrap_add",
+    "wrap_sub",
+    "arith_shift_right",
+    "carry_chain",
+    "adder_cell_inputs",
+    "cell_pattern_codes",
+]
+
+
+def wrap_add(a, b, width: int):
+    """``a + b`` in ``width``-bit two's complement with wrap-around."""
+    return wrap(np.asarray(a) + np.asarray(b), width)
+
+
+def wrap_sub(a, b, width: int):
+    """``a - b`` in ``width``-bit two's complement with wrap-around."""
+    return wrap(np.asarray(a) - np.asarray(b), width)
+
+
+def arith_shift_right(a, shift: int):
+    """Arithmetic right shift (floor division by ``2**shift``)."""
+    if shift < 0:
+        raise FixedPointError(f"shift must be non-negative, got {shift}")
+    return np.asarray(a) >> shift
+
+
+def carry_chain(a, b, cin, width: int):
+    """Carries inside a ``width``-bit ripple-carry adder.
+
+    Parameters
+    ----------
+    a, b:
+        Raw operand integers (scalars or arrays); only their low ``width``
+        bits participate.  For a subtractor pass the bitwise complement of
+        the subtrahend and ``cin=1``.
+    cin:
+        Carry into bit 0 (0 or 1, scalar or array).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``carries`` with shape ``(width + 1,) + a.shape`` where
+        ``carries[k]`` is the carry *into* bit ``k``; ``carries[width]``
+        is the carry out of the MSB cell.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    c = np.broadcast_to(np.asarray(cin), np.broadcast_shapes(a.shape, b.shape)).astype(a.dtype, copy=True)
+    out = np.empty((width + 1,) + c.shape, dtype=a.dtype)
+    out[0] = c
+    for k in range(width):
+        ak = (a >> k) & 1
+        bk = (b >> k) & 1
+        c = (ak & bk) | (out[k] & (ak ^ bk))
+        out[k + 1] = c
+    return out
+
+
+def adder_cell_inputs(a, b, cin, width: int, invert_b: bool = False):
+    """Per-cell ``(a_k, b_k, c_k)`` bits of a ripple-carry add.
+
+    ``invert_b`` models a subtractor: each cell sees the complemented
+    ``b`` bit, and the caller is expected to pass ``cin=1``.
+
+    Returns three arrays of shape ``(width,) + a.shape`` containing the
+    bit seen on the primary input, secondary input, and carry input of
+    each full-adder cell (LSB cell first).
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if invert_b:
+        b = ~b
+    carries = carry_chain(a, b, cin, width)
+    ks = np.arange(width)
+    shape = (width,) + (1,) * a.ndim
+    a_bits = (a[None, ...] >> ks.reshape(shape)) & 1
+    b_bits = (b[None, ...] >> ks.reshape(shape)) & 1
+    return a_bits, b_bits, carries[:width]
+
+
+def cell_pattern_codes(a, b, cin, width: int, invert_b: bool = False):
+    """Per-cell test-pattern codes ``n = (a<<2)|(b<<1)|c`` (paper's ``Tn``).
+
+    The code at each full-adder cell identifies which of the eight tests
+    T0..T7 the cell receives, with ``a`` the primary input bit, ``b`` the
+    secondary input bit and ``c`` the carry input — the numbering used in
+    Table 2 of the paper.
+
+    Returns an array of shape ``(width,) + a.shape`` with dtype uint8.
+    """
+    a_bits, b_bits, c_bits = adder_cell_inputs(a, b, cin, width, invert_b=invert_b)
+    return ((a_bits << 2) | (b_bits << 1) | c_bits).astype(np.uint8)

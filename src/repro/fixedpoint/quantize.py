@@ -1,0 +1,53 @@
+"""Floating-point to fixed-point signal quantization helpers.
+
+These are convenience wrappers used by the test-signal generators (sine,
+noise) and by the filter designer when mapping ideal coefficients onto a
+datapath format.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FixedPointError
+from .qformat import Fixed
+
+__all__ = ["quantize_signal", "quantization_noise_power", "dynamic_range_db"]
+
+
+def quantize_signal(values, fmt: Fixed, rounding: str = "round", overflow: str = "error"):
+    """Quantize a float signal to raw integers in ``fmt``.
+
+    ``overflow`` selects what happens to out-of-range samples:
+    ``"error"`` raises, ``"saturate"`` clamps, ``"wrap"`` wraps (two's
+    complement overflow).
+    """
+    scaled = np.asarray(values, dtype=np.float64) * (1 << fmt.frac)
+    if rounding == "round":
+        raw = np.floor(scaled + 0.5).astype(np.int64)
+    elif rounding == "floor":
+        raw = np.floor(scaled).astype(np.int64)
+    elif rounding == "nearest-even":
+        raw = np.rint(scaled).astype(np.int64)
+    else:
+        raise FixedPointError(f"unknown rounding mode {rounding!r}")
+    if overflow == "error":
+        if not fmt.contains(raw):
+            raise FixedPointError(f"signal exceeds range of {fmt}")
+        return raw
+    if overflow == "saturate":
+        return fmt.saturate(raw)
+    if overflow == "wrap":
+        return fmt.wrap(raw)
+    raise FixedPointError(f"unknown overflow mode {overflow!r}")
+
+
+def quantization_noise_power(fmt: Fixed) -> float:
+    """Power of the uniform quantization-noise model, ``lsb**2 / 12``."""
+    return fmt.lsb**2 / 12.0
+
+
+def dynamic_range_db(fmt: Fixed) -> float:
+    """Full-scale to quantization-noise ratio in dB (≈ 6.02·width + 1.76)."""
+    full_scale_power = fmt.half_scale**2 / 2.0  # full-scale sine
+    return 10.0 * np.log10(full_scale_power / quantization_noise_power(fmt))

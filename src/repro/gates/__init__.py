@@ -1,0 +1,41 @@
+"""Gate-level substrate: cell fault dictionaries, netlist elaboration and
+the exact parallel-pattern fault-injection simulator."""
+
+from .cells import CellFault, CellVariant, VARIANT_KINDS, cell_variant, variant_for_bit
+from .netlist import Dff, Gate, GateNetlist, GateRef, elaborate
+from .gatesim import (
+    NetlistFault,
+    bits_to_raw,
+    netlist_fault_detected,
+    pack_input_bits,
+    simulate_netlist,
+)
+from .faults import EnumeratedFault, enumerate_cell_faults, gate_level_fault_simulation
+from .fault_parallel import fault_parallel_detect, gate_level_missed
+from .verilog import generate_testbench, netlist_to_verilog, save_verilog
+
+__all__ = [
+    "CellFault",
+    "CellVariant",
+    "VARIANT_KINDS",
+    "cell_variant",
+    "variant_for_bit",
+    "GateNetlist",
+    "Gate",
+    "Dff",
+    "GateRef",
+    "elaborate",
+    "NetlistFault",
+    "simulate_netlist",
+    "netlist_fault_detected",
+    "pack_input_bits",
+    "bits_to_raw",
+    "EnumeratedFault",
+    "enumerate_cell_faults",
+    "gate_level_fault_simulation",
+    "fault_parallel_detect",
+    "gate_level_missed",
+    "netlist_to_verilog",
+    "generate_testbench",
+    "save_verilog",
+]

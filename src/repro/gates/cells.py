@@ -1,0 +1,297 @@
+"""Gate-level ripple-carry cell models and their stuck-at fault tables.
+
+Every adder/subtractor bit position is one of four cell variants:
+
+``full``
+    The classic 5-gate full adder: ``s1 = a XOR b``, ``sum = s1 XOR c``,
+    ``g1 = a AND b``, ``g2 = s1 AND c``, ``cout = g1 OR g2``.
+``msb``
+    The most significant cell.  Its carry-out is architecturally dropped,
+    so the carry gates are not instantiated at all — "the MSB logic is
+    less of a test problem since it does not contain any carry logic"
+    (Section 4.1).  Netlist: the two XORs only.
+``lsb0`` / ``lsb1``
+    Bit 0 with a constant carry-in: a half adder (XOR/AND) for adders
+    (``cin = 0``) and the XNOR/OR reduction for subtractors (``cin = 1``).
+
+Faults are single stuck-at faults on every gate input/output line,
+*including fanout branches* (a stem and each of its branches are distinct
+fault sites).  Each variant's faults are exhaustively simulated over the
+eight input codes ``(a << 2) | (b << 1) | c`` and collapsed into
+equivalence classes with identical observable faulty behaviour.  A class
+records the full faulty output tables, so the same object drives both
+coverage accounting and fault *injection*.
+
+For subtractor cells the secondary operand passes through an inverter
+before reaching the cell.  Stuck-at faults on the inverter collapse onto
+the cell's ``b`` lines (``b_in`` s-a-v is equivalent to ``b`` s-a-(1-v)),
+so no extra fault sites are modeled; the pattern-extraction layer feeds
+cells the *post-inversion* ``b`` bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import FaultModelError
+
+__all__ = ["CellFault", "CellVariant", "cell_variant", "VARIANT_KINDS", "variant_for_bit"]
+
+VARIANT_KINDS = ("full", "msb", "lsb0", "lsb1")
+
+# A gate is (kind, output_net, input_branch_names); a branch name is either
+# a plain net name (single fanout) or "net.tag" marking one branch of a
+# multi-fanout stem.
+_Gate = Tuple[str, str, Tuple[str, ...]]
+
+_NETLISTS: Dict[str, Tuple[Tuple[_Gate, ...], Tuple[str, ...], Optional[str], Optional[int]]] = {
+    # kind: (gates, observable_outputs, constant_carry_net, constant_value)
+    "full": (
+        (
+            ("xor", "s1", ("a.x", "b.x")),
+            ("xor", "sum", ("s1.x", "c.x")),
+            ("and", "g1", ("a.g", "b.g")),
+            ("and", "g2", ("s1.g", "c.g")),
+            ("or", "cout", ("g1", "g2")),
+        ),
+        ("sum", "cout"),
+        None,
+        None,
+    ),
+    "msb": (
+        (
+            ("xor", "s1", ("a", "b")),
+            ("xor", "sum", ("s1", "c")),
+        ),
+        ("sum",),
+        None,
+        None,
+    ),
+    "lsb0": (
+        (
+            ("xor", "sum", ("a.x", "b.x")),
+            ("and", "cout", ("a.g", "b.g")),
+        ),
+        ("sum", "cout"),
+        "c",
+        0,
+    ),
+    "lsb1": (
+        (
+            ("xor", "s1", ("a.x", "b.x")),
+            ("not", "sum", ("s1",)),
+            ("or", "cout", ("a.g", "b.g")),
+        ),
+        ("sum", "cout"),
+        "c",
+        1,
+    ),
+}
+
+_GATE_FUNCS = {
+    "xor": lambda ins: ins[0] ^ ins[1],
+    "and": lambda ins: ins[0] & ins[1],
+    "or": lambda ins: ins[0] | ins[1],
+    "not": lambda ins: 1 - ins[0],
+}
+
+
+@dataclass(frozen=True)
+class CellFault:
+    """One collapsed stuck-at fault class of a ripple-carry cell.
+
+    Attributes
+    ----------
+    name:
+        Representative fault site, e.g. ``"s1.g/1"`` (branch of ``s1``
+        into the AND gate, stuck at 1).
+    members:
+        All uncollapsed fault sites with this exact behaviour.
+    detect_mask:
+        Bitmask over input codes 0..7; bit ``n`` set means test ``Tn``
+        detects the fault at an observable output.  Only feasible codes
+        are included for constant-carry variants.
+    sum_lut / cout_lut:
+        Faulty output tables over all 8 codes (used for injection).
+    """
+
+    name: str
+    members: Tuple[str, ...]
+    detect_mask: int
+    sum_lut: Tuple[int, ...]
+    cout_lut: Tuple[int, ...]
+
+    @property
+    def detecting_codes(self) -> Tuple[int, ...]:
+        """Sorted input codes whose tests detect this fault."""
+        return tuple(n for n in range(8) if self.detect_mask & (1 << n))
+
+    def sum_array(self) -> np.ndarray:
+        return np.array(self.sum_lut, dtype=np.uint8)
+
+    def cout_array(self) -> np.ndarray:
+        return np.array(self.cout_lut, dtype=np.uint8)
+
+
+@dataclass(frozen=True)
+class CellVariant:
+    """A cell kind plus its collapsed fault universe."""
+
+    kind: str
+    faults: Tuple[CellFault, ...]
+    undetectable: Tuple[str, ...]
+    feasible_mask: int
+    uncollapsed_count: int
+
+    @property
+    def fault_count(self) -> int:
+        """Number of collapsed, detectable fault classes."""
+        return len(self.faults)
+
+
+def _lines_of(gates: Sequence[_Gate]) -> List[str]:
+    """All fault sites: every gate output net, every stem, every branch."""
+    sites: List[str] = []
+    stems_seen = set()
+    for _, out, ins in gates:
+        for branch in ins:
+            stem = branch.split(".")[0]
+            if "." in branch:
+                sites.append(branch)
+            if stem not in stems_seen:
+                stems_seen.add(stem)
+                if stem not in [g[1] for g in gates]:
+                    sites.append(stem)  # primary input stem
+        sites.append(out)
+    # Multi-fanout internal nets: their stem is the gate output (already
+    # added); branches were added above.  Deduplicate, preserve order.
+    seen = set()
+    unique: List[str] = []
+    for s in sites:
+        if s not in seen:
+            seen.add(s)
+            unique.append(s)
+    return unique
+
+
+def _evaluate(
+    kind: str,
+    a: int,
+    b: int,
+    c: int,
+    fault: Optional[Tuple[str, int]] = None,
+) -> Tuple[int, int]:
+    """Evaluate one cell variant, optionally with a stuck line."""
+    gates, _observable, const_net, const_val = _NETLISTS[kind]
+    nets: Dict[str, int] = {"a": a, "b": b, "c": c}
+    if const_net is not None:
+        nets[const_net] = const_val
+
+    def read(branch: str) -> int:
+        stem = branch.split(".")[0]
+        v = nets[stem]
+        if fault is not None:
+            site, sv = fault
+            if site == stem or site == branch:
+                v = sv
+        return v
+
+    for gkind, out, ins in gates:
+        value = _GATE_FUNCS[gkind]([read(i) for i in ins])
+        if fault is not None and fault[0] == out:
+            value = fault[1]
+        nets[out] = value
+    sum_v = nets["sum"]
+    cout_v = nets.get("cout", (a & b) | (c & (a ^ b)))  # msb drops its carry
+    return sum_v, cout_v
+
+
+def _good_outputs(a: int, b: int, c: int) -> Tuple[int, int]:
+    return a ^ b ^ c, (a & b) | (c & (a ^ b))
+
+
+@lru_cache(maxsize=None)
+def cell_variant(kind: str) -> CellVariant:
+    """Build (and cache) the collapsed fault universe of one cell kind."""
+    if kind not in _NETLISTS:
+        raise FaultModelError(f"unknown cell variant {kind!r}")
+    gates, observable, const_net, const_val = _NETLISTS[kind]
+    sites = _lines_of(gates)
+    feasible = []
+    for code in range(8):
+        a, b, c = (code >> 2) & 1, (code >> 1) & 1, code & 1
+        if const_net == "c" and c != const_val:
+            continue
+        feasible.append(code)
+    feasible_mask = sum(1 << n for n in feasible)
+
+    # Behaviour signature of each uncollapsed fault.
+    by_signature: Dict[Tuple, List[str]] = {}
+    luts: Dict[Tuple, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+    undetectable: List[str] = []
+    uncollapsed = 0
+    for site in sites:
+        for sv in (0, 1):
+            uncollapsed += 1
+            name = f"{site}/{sv}"
+            sum_lut = []
+            cout_lut = []
+            detect = 0
+            signature: List[Tuple[int, ...]] = []
+            for code in range(8):
+                a, b, c = (code >> 2) & 1, (code >> 1) & 1, code & 1
+                fs, fc = _evaluate(kind, a, b, c, fault=(site, sv))
+                gs, gc = _good_outputs(a, b, c)
+                sum_lut.append(fs)
+                cout_lut.append(fc)
+                if code in feasible:
+                    differs = (fs != gs and "sum" in observable) or (
+                        fc != gc and "cout" in observable
+                    )
+                    if differs:
+                        detect |= 1 << code
+                    signature.append(
+                        (fs if "sum" in observable else -1,
+                         fc if "cout" in observable else -1)
+                    )
+            if detect == 0:
+                undetectable.append(name)
+                continue
+            key = (detect, tuple(signature))
+            by_signature.setdefault(key, []).append(name)
+            luts[key] = (tuple(sum_lut), tuple(cout_lut))
+
+    faults = tuple(
+        CellFault(
+            name=members[0],
+            members=tuple(members),
+            detect_mask=key[0],
+            sum_lut=luts[key][0],
+            cout_lut=luts[key][1],
+        )
+        for key, members in sorted(by_signature.items(), key=lambda kv: kv[1][0])
+    )
+    return CellVariant(
+        kind=kind,
+        faults=faults,
+        undetectable=tuple(undetectable),
+        feasible_mask=feasible_mask,
+        uncollapsed_count=uncollapsed,
+    )
+
+
+def variant_for_bit(bit: int, width: int, is_subtractor: bool) -> CellVariant:
+    """Cell variant at a given bit of a ``width``-bit operator."""
+    if width < 2:
+        raise FaultModelError("operators must be at least 2 bits wide")
+    if not 0 <= bit < width:
+        raise FaultModelError(f"bit {bit} outside width {width}")
+    if bit == 0:
+        return cell_variant("lsb1" if is_subtractor else "lsb0")
+    if bit == width - 1:
+        return cell_variant("msb")
+    return cell_variant("full")

@@ -1,0 +1,50 @@
+"""On-chip test-pattern generators (Section 6 of the paper)."""
+
+from .base import TestGenerator, match_width
+from .polynomials import (
+    PAPER_TYPE2_POLY_12,
+    PRIMITIVE_POLYS,
+    default_poly,
+    degree,
+    is_maximal_length,
+    reciprocal,
+    search_primitive_polys,
+)
+from .lfsr import FibonacciLfsr, GaloisLfsr, bit_stream_to_words
+from .variants import (
+    DecorrelatedLfsr,
+    MaxVarianceLfsr,
+    PermutedLfsr,
+    Type1Lfsr,
+    Type2Lfsr,
+)
+from .ramp import RampGenerator
+from .sine import SineGenerator
+from .noise import BernoulliSignGenerator, UniformWhiteGenerator
+from .mixed import MixedModeLfsr, SwitchedGenerator
+
+__all__ = [
+    "TestGenerator",
+    "match_width",
+    "PRIMITIVE_POLYS",
+    "PAPER_TYPE2_POLY_12",
+    "default_poly",
+    "degree",
+    "reciprocal",
+    "is_maximal_length",
+    "search_primitive_polys",
+    "FibonacciLfsr",
+    "GaloisLfsr",
+    "bit_stream_to_words",
+    "Type1Lfsr",
+    "Type2Lfsr",
+    "DecorrelatedLfsr",
+    "MaxVarianceLfsr",
+    "PermutedLfsr",
+    "RampGenerator",
+    "SineGenerator",
+    "UniformWhiteGenerator",
+    "BernoulliSignGenerator",
+    "MixedModeLfsr",
+    "SwitchedGenerator",
+]

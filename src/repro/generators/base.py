@@ -1,0 +1,89 @@
+"""Common interface for on-chip test-pattern generators.
+
+Every generator produces a stream of ``width``-bit two's-complement raw
+words that feed the filter input directly.  Interpreted per the paper's
+convention, each word is a value in ``[-1, 1)`` (normalize by
+``2**(width-1)``).
+
+Generators are *stateful iterators*: ``generate(n)`` returns the next
+``n`` words and advances the state, exactly like clocking the hardware n
+times; ``reset()`` returns to the seed state.  All randomness is
+deterministic given the constructor arguments, so every experiment in
+this package is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+import numpy as np
+
+from ..errors import GeneratorError
+from ..fixedpoint import Fixed
+
+__all__ = ["TestGenerator", "match_width"]
+
+
+def match_width(raw: np.ndarray, src_width: int, dst_width: int) -> np.ndarray:
+    """Adapt generator words to a consumer of a different width.
+
+    Hardware-wise this is wiring: a wider word drops LSBs (the consumer
+    connects to the upper wires), a narrower word feeds the upper bits
+    with zeros on the remaining LSBs.  Normalized value is preserved up
+    to LSB truncation.
+    """
+    delta = dst_width - src_width
+    if delta == 0:
+        return raw
+    if delta > 0:
+        return raw << delta
+    return raw >> -delta
+
+
+class TestGenerator(abc.ABC):
+    """Abstract base class for BIST test-pattern generators."""
+
+    def __init__(self, width: int, name: str):
+        if width < 2:
+            raise GeneratorError(f"generator width must be >= 2, got {width}")
+        self.width = width
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def generate(self, n: int) -> np.ndarray:
+        """Next ``n`` raw two's-complement words (int64 array)."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Return to the initial (seed) state."""
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    @property
+    def fmt(self) -> Fixed:
+        """Output word format: full-range fractional two's complement."""
+        return Fixed(self.width, self.width - 1)
+
+    def normalized(self, n: int) -> np.ndarray:
+        """Next ``n`` samples as normalized floats in [-1, 1)."""
+        return self.generate(n) / float(1 << (self.width - 1))
+
+    def sequence(self, n: int) -> np.ndarray:
+        """``reset()`` then ``generate(n)`` — a fresh test session."""
+        self.reset()
+        return self.generate(n)
+
+    def hardware_cost(self) -> Dict[str, int]:
+        """Rough implementation cost: flip-flops and 2-input gates.
+
+        Subclasses refine this; the base estimate is register-only.
+        """
+        return {"dff": self.width, "gates": 0}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name} width={self.width}>"

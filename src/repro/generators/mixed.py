@@ -1,0 +1,132 @@
+"""Mixed (mode-switching) test generation schemes — Section 9.
+
+The paper's low-cost scheme runs one LFSR and switches its *output
+network* mid-session: normal mode (full register word) first, then
+maximum-variance mode (one bit selects ±full-scale).  Normal mode covers
+the low-order adder bits; maximum-variance mode restores passband power
+and exercises the upper bits, compensating the Type 1 rolloff.
+
+:class:`MixedModeLfsr` models exactly that single-LFSR scheme (the state
+keeps running across the switch, as in hardware).
+:class:`SwitchedGenerator` is the general composition of arbitrary
+generator phases used for the LFSR-D/LFSR-M comparison in Table 6.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GeneratorError
+from .base import TestGenerator
+from .lfsr import FibonacciLfsr
+
+__all__ = ["MixedModeLfsr", "SwitchedGenerator"]
+
+
+class MixedModeLfsr(TestGenerator):
+    """One Type 1 LFSR, switched to maximum-variance mode after a point.
+
+    ``switch_after`` counts vectors from the start of the session; the
+    underlying register keeps clocking through the switch.
+    """
+
+    def __init__(self, width: int, switch_after: int, poly: int = 0,
+                 seed: int = 1, direction: str = "msb_to_lsb"):
+        super().__init__(width, f"LFSR-1+M/{width}@{switch_after}")
+        if switch_after < 0:
+            raise GeneratorError("switch_after must be >= 0")
+        self.switch_after = int(switch_after)
+        self._core = FibonacciLfsr(width, poly=poly, seed=seed,
+                                   direction=direction)
+        self.poly = self._core.poly
+        self.reset()
+
+    def reset(self) -> None:
+        self._core.reset()
+        self._emitted = 0
+
+    def generate(self, n: int) -> np.ndarray:
+        out = np.empty(n, dtype=np.int64)
+        produced = 0
+        normal_left = max(0, self.switch_after - self._emitted)
+        if normal_left > 0:
+            take = min(n, normal_left)
+            out[:take] = self._core.generate(take)
+            produced = take
+        if produced < n:
+            bits = self._core.bit_stream(n - produced)
+            most_positive = np.int64((1 << (self.width - 1)) - 1)
+            most_negative = np.int64(-(1 << (self.width - 1)))
+            out[produced:] = np.where(bits.astype(bool), most_positive,
+                                      most_negative)
+        self._emitted += n
+        return out
+
+    def hardware_cost(self):
+        base = self._core.hardware_cost()
+        # Mode multiplexing: one 2:1 mux (~3 gates) per output bit.
+        return {"dff": base["dff"], "gates": base["gates"] + 3 * self.width}
+
+
+class SwitchedGenerator(TestGenerator):
+    """Sequential composition of generator phases.
+
+    ``phases`` is a list of ``(generator, n_vectors)``; the final phase
+    may use ``n_vectors = None`` to run indefinitely.  All generators
+    must share the same width.
+    """
+
+    def __init__(self, phases: Sequence[Tuple[TestGenerator, object]],
+                 name: str = ""):
+        if not phases:
+            raise GeneratorError("need at least one phase")
+        width = phases[0][0].width
+        for gen, count in phases:
+            if gen.width != width:
+                raise GeneratorError("all phases must share one width")
+            if count is not None and int(count) <= 0:
+                raise GeneratorError("phase lengths must be positive")
+        for gen, count in phases[:-1]:
+            if count is None:
+                raise GeneratorError("only the last phase may be unbounded")
+        label = name or "+".join(g.name for g, _ in phases)
+        super().__init__(width, label)
+        self.phases: List[Tuple[TestGenerator, object]] = [
+            (g, None if c is None else int(c)) for g, c in phases
+        ]
+        self.reset()
+
+    def reset(self) -> None:
+        for gen, _ in self.phases:
+            gen.reset()
+        self._phase = 0
+        self._used = 0  # vectors taken from the current phase
+
+    def generate(self, n: int) -> np.ndarray:
+        chunks = []
+        remaining = n
+        while remaining > 0:
+            if self._phase >= len(self.phases):
+                raise GeneratorError("all bounded phases exhausted")
+            gen, count = self.phases[self._phase]
+            if count is None:
+                chunks.append(gen.generate(remaining))
+                remaining = 0
+                break
+            left = count - self._used
+            take = min(left, remaining)
+            if take > 0:
+                chunks.append(gen.generate(take))
+                self._used += take
+                remaining -= take
+            if self._used >= count:
+                self._phase += 1
+                self._used = 0
+        return np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
+
+    def hardware_cost(self):
+        dff = sum(g.hardware_cost()["dff"] for g, _ in self.phases)
+        gates = sum(g.hardware_cost()["gates"] for g, _ in self.phases)
+        return {"dff": dff, "gates": gates + 3 * self.width}

@@ -1,0 +1,61 @@
+"""Idealized white-noise sources.
+
+These model the *theoretical* generators the paper's analyses assume:
+
+* :class:`UniformWhiteGenerator` — statistically independent words,
+  uniform over the full range (variance 1/3).  Figure 9's "idealized test
+  generator producing statistically independent vectors".
+* :class:`BernoulliSignGenerator` — independent ±full-scale words
+  (variance 1), the idealized counterpart of LFSR-M.
+
+They use a seeded numpy PRNG, so runs are reproducible, but they have no
+hardware realization — they exist to separate "LFSR structure" effects
+from "spectrum shape" effects in the analyses and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import TestGenerator
+
+__all__ = ["UniformWhiteGenerator", "BernoulliSignGenerator"]
+
+
+class UniformWhiteGenerator(TestGenerator):
+    """Independent words uniform over the full two's-complement range."""
+
+    def __init__(self, width: int, seed: int = 12345):
+        super().__init__(width, f"White/{width}")
+        self.seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def generate(self, n: int) -> np.ndarray:
+        half = 1 << (self.width - 1)
+        return self._rng.integers(-half, half, size=n, dtype=np.int64)
+
+    def hardware_cost(self):
+        return {"dff": 0, "gates": 0}
+
+
+class BernoulliSignGenerator(TestGenerator):
+    """Independent ±full-scale words (idealized maximum-variance source)."""
+
+    def __init__(self, width: int, seed: int = 54321):
+        super().__init__(width, f"Sign/{width}")
+        self.seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def generate(self, n: int) -> np.ndarray:
+        half = 1 << (self.width - 1)
+        bits = self._rng.integers(0, 2, size=n, dtype=np.int64)
+        return np.where(bits.astype(bool), half - 1, -half)
+
+    def hardware_cost(self):
+        return {"dff": 0, "gates": 0}

@@ -1,0 +1,135 @@
+"""Feedback polynomials for LFSR test-pattern generators.
+
+Polynomials are integers whose bit ``i`` is the coefficient of ``x**i``;
+a degree-``N`` polynomial has bit ``N`` set and (for any useful LFSR)
+bit 0 set.  ``PRIMITIVE_POLYS`` lists one known primitive polynomial per
+width — primitive feedback gives the maximal period ``2**N - 1`` and the
+balanced, decorrelated bit stream the paper's Type 1 spectrum analysis
+assumes.  ``PAPER_TYPE2_POLY_12`` is the polynomial 12B9h the paper uses
+for its Type 2 example (Section 6).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..errors import GeneratorError
+
+__all__ = [
+    "PRIMITIVE_POLYS",
+    "PAPER_TYPE2_POLY_12",
+    "degree",
+    "reciprocal",
+    "default_poly",
+    "is_maximal_length",
+    "search_primitive_polys",
+]
+
+PRIMITIVE_POLYS = {
+    2: 0x7,        # x^2 + x + 1
+    3: 0xB,        # x^3 + x + 1
+    4: 0x13,       # x^4 + x + 1
+    5: 0x25,       # x^5 + x^2 + 1
+    6: 0x43,       # x^6 + x + 1
+    7: 0x89,       # x^7 + x^3 + 1
+    8: 0x11D,      # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0x211,      # x^9 + x^4 + 1
+    10: 0x409,     # x^10 + x^3 + 1
+    11: 0x805,     # x^11 + x^2 + 1
+    12: 0x1053,    # x^12 + x^6 + x^4 + x + 1
+    13: 0x201B,    # x^13 + x^4 + x^3 + x + 1
+    14: 0x4443,    # x^14 + x^10 + x^6 + x + 1
+    15: 0x8003,    # x^15 + x + 1
+    16: 0x1100B,   # x^16 + x^12 + x^3 + x + 1
+    17: 0x20009,   # x^17 + x^3 + 1
+    18: 0x40081,   # x^18 + x^7 + 1
+    19: 0x80027,   # x^19 + x^5 + x^2 + x + 1
+    20: 0x100009,  # x^20 + x^3 + 1
+    21: 0x200005,  # x^21 + x^2 + 1
+    22: 0x400003,  # x^22 + x + 1
+    23: 0x800021,  # x^23 + x^5 + 1
+    24: 0x1000087, # x^24 + x^7 + x^2 + x + 1
+}
+
+#: Polynomial 12B9h from Section 6 of the paper (Type 2 LFSR example):
+#: x^12 + x^9 + x^7 + x^5 + x^4 + x^3 + 1.
+PAPER_TYPE2_POLY_12 = 0x12B9
+
+
+def degree(poly: int) -> int:
+    """Degree of the polynomial (position of its highest set bit)."""
+    if poly <= 0:
+        raise GeneratorError(f"invalid polynomial {poly:#x}")
+    return poly.bit_length() - 1
+
+
+def reciprocal(poly: int) -> int:
+    """The reciprocal polynomial ``x**N * p(1/x)`` (bit reversal).
+
+    The paper notes that using the reciprocal can move a Type 2 LFSR's
+    XOR gates closer to the MSB and flatten its spectrum.
+    """
+    n = degree(poly)
+    out = 0
+    for i in range(n + 1):
+        if poly & (1 << i):
+            out |= 1 << (n - i)
+    return out
+
+
+def default_poly(width: int) -> int:
+    """The library's default (primitive) polynomial for a width."""
+    try:
+        return PRIMITIVE_POLYS[width]
+    except KeyError:
+        raise GeneratorError(
+            f"no default polynomial for width {width}; supply one explicitly"
+        ) from None
+
+
+def search_primitive_polys(width: int, count: int) -> list:
+    """Find ``count`` distinct maximal-length polynomials of a width.
+
+    Brute force over odd candidates with an explicit period check, so
+    keep to ``width <= 16`` or so.  Used by the polynomial-insensitivity
+    study (the paper: the Type 1 spectrum "is not sensitive to the
+    particular seed or polynomial used").
+    """
+    if count < 1:
+        raise GeneratorError(f"count must be >= 1, got {count}")
+    found = []
+    base = 1 << width
+    for low in range(3, base, 2):  # bit 0 must be set for maximal length
+        poly = base | low
+        if is_maximal_length(poly):
+            found.append(poly)
+            if len(found) == count:
+                return found
+    raise GeneratorError(
+        f"only {len(found)} primitive polynomials of degree {width} exist"
+    )
+
+
+@lru_cache(maxsize=None)
+def is_maximal_length(poly: int) -> bool:
+    """True when the feedback polynomial yields period ``2**N - 1``.
+
+    Checked by explicit Galois-LFSR iteration, so keep to ``N <= 20`` or
+    so; results are cached.
+    """
+    n = degree(poly)
+    if not poly & 1:
+        return False  # x divides p(x): degenerate feedback
+    mask = (1 << n) - 1
+    low = poly & mask
+    state = 1
+    period = 0
+    while True:
+        msb = (state >> (n - 1)) & 1
+        state = ((state << 1) & mask) ^ (low if msb else 0)
+        period += 1
+        if state == 1:
+            break
+        if period > (1 << n):
+            raise GeneratorError(f"LFSR with poly {poly:#x} never recycles")
+    return period == (1 << n) - 1

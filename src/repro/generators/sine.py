@@ -1,0 +1,51 @@
+"""Quantized sine-wave source.
+
+Not a BIST generator — a stand-in for the filter's *normal operating
+signal*.  The fault-injection experiment of Section 5 (Figure 2) drives
+the faulty lowpass filter with a sine wave inside its passband to show
+the missed fault producing spike trains at the output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GeneratorError
+from .base import TestGenerator
+
+__all__ = ["SineGenerator"]
+
+
+class SineGenerator(TestGenerator):
+    """``amplitude * sin(2*pi*freq*n + phase)`` quantized to the word grid.
+
+    ``freq`` is in cycles/sample (0 to 0.5); ``amplitude`` is normalized
+    (1.0 = full scale, clipped to the largest representable value).
+    """
+
+    def __init__(self, width: int, freq: float, amplitude: float = 0.9,
+                 phase: float = 0.0):
+        super().__init__(width, f"Sine/{width}@{freq:g}")
+        if not 0.0 < freq <= 0.5:
+            raise GeneratorError(f"freq must be in (0, 0.5], got {freq}")
+        if not 0.0 < amplitude <= 1.0:
+            raise GeneratorError(f"amplitude must be in (0, 1], got {amplitude}")
+        self.freq = float(freq)
+        self.amplitude = float(amplitude)
+        self.phase = float(phase)
+        self.reset()
+
+    def reset(self) -> None:
+        self._n = 0
+
+    def generate(self, n: int) -> np.ndarray:
+        t = self._n + np.arange(n, dtype=np.float64)
+        self._n += n
+        half = 1 << (self.width - 1)
+        value = self.amplitude * np.sin(2.0 * np.pi * self.freq * t + self.phase)
+        raw = np.floor(value * half + 0.5).astype(np.int64)
+        return np.clip(raw, -half, half - 1)
+
+    def hardware_cost(self):
+        # Normal-mode stimulus, not test hardware.
+        return {"dff": 0, "gates": 0}

@@ -1,0 +1,52 @@
+"""Register-transfer-level datapath substrate: graphs, builders, scaling,
+impulse-response analysis and the bit-accurate vectorized simulator."""
+
+from .nodes import ARITHMETIC_KINDS, Node, OpKind
+from .graph import Graph
+from .impulse import NodeResponse, impulse_responses, subfilter_response
+from .intervals import value_intervals
+from .scaling import ScalingReport, assign_formats, redundant_sign_bits, width_for_bound
+from .build import (
+    FilterDesign,
+    TapInfo,
+    build_direct_fir,
+    build_transposed_fir,
+    design_from_coefficients,
+)
+from .carrysave import CarrySaveFir, CsaStage, carry_save_from_coefficients
+from .serialize import design_from_dict, design_to_dict, load_design, save_design
+from .simulate import InjectedFault, SimResult, node_waveform, simulate
+from .vcd import save_vcd, sim_to_vcd
+
+__all__ = [
+    "OpKind",
+    "Node",
+    "ARITHMETIC_KINDS",
+    "Graph",
+    "NodeResponse",
+    "impulse_responses",
+    "subfilter_response",
+    "value_intervals",
+    "ScalingReport",
+    "assign_formats",
+    "redundant_sign_bits",
+    "width_for_bound",
+    "FilterDesign",
+    "TapInfo",
+    "build_transposed_fir",
+    "build_direct_fir",
+    "design_from_coefficients",
+    "CarrySaveFir",
+    "CsaStage",
+    "carry_save_from_coefficients",
+    "design_to_dict",
+    "design_from_dict",
+    "save_design",
+    "load_design",
+    "sim_to_vcd",
+    "save_vcd",
+    "InjectedFault",
+    "SimResult",
+    "simulate",
+    "node_waveform",
+]

@@ -1,0 +1,321 @@
+"""Builders for multiplierless FIR datapaths.
+
+The reference architecture is the transposed direct form used by
+high-speed multiplierless designs (FIRGEN, Section 3 of the paper): a
+cascade of *tap* structures, each holding a delay register on the
+accumulation chain plus a hardwired CSD constant multiplication that is
+*folded digit-by-digit into the chain*::
+
+    x ────┬──────────────┬─────────── ... ──┬───────────
+          │ >>s,±        │ >>s,±            │ >>s,±     (one shifted copy
+          ▼▼             ▼▼                 ▼▼           per CSD digit)
+    0 ─►(±)(±)──►D──►(±)(±)──►D──► ... ──►(±)(±)──►  y
+
+Each nonzero CSD digit of each coefficient becomes exactly one
+ripple-carry operator whose *primary* input is the running accumulation
+signal (high variance) and whose *secondary* input is a shifted copy of
+``x`` scaled by a single power of two (low variance) — the
+variance-mismatched adder of Section 4.  Consequently the operator count
+equals the total nonzero-digit count (plus one if the far tap leads with
+a negative digit), matching the Table 1 adder budgets, and negative
+digits/coefficients become subtractors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..csd import MultiplierPlan, QuantizedCoefficient, plan_multiplier, quantize_filter
+from ..errors import DesignError
+from ..fixedpoint import Fixed
+from .graph import Graph
+from .nodes import OpKind
+from .scaling import ScalingReport, assign_formats
+
+__all__ = ["TapInfo", "FilterDesign", "build_transposed_fir",
+           "build_direct_fir", "design_from_coefficients"]
+
+
+@dataclass
+class TapInfo:
+    """Where one tap's hardware lives in the graph.
+
+    ``accumulator`` is the id of the node holding the running sum *after*
+    this tap's full contribution (the paper's "tap k" signal); ``delay``
+    is the register feeding this tap's first operator (None for the far
+    tap); ``operators`` lists the ripple-carry ops realizing this tap's
+    CSD digits, chain order.
+    """
+
+    index: int
+    coefficient: QuantizedCoefficient
+    plan: MultiplierPlan
+    accumulator: Optional[int]
+    delay: Optional[int]
+    operators: List[int] = field(default_factory=list)
+
+
+@dataclass
+class FilterDesign:
+    """A complete, scaled filter datapath plus its design metadata."""
+
+    name: str
+    graph: Graph
+    taps: List[TapInfo]
+    scaling: ScalingReport
+    input_fmt: Fixed
+    acc_frac: int
+    kind: str = "custom"  # lowpass / bandpass / highpass / custom
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Realized (quantized) coefficient values, tap order."""
+        return np.array([t.coefficient.value for t in self.taps])
+
+    @property
+    def ideal_coefficients(self) -> np.ndarray:
+        """Pre-quantization coefficient values."""
+        return np.array([t.coefficient.ideal for t in self.taps])
+
+    @property
+    def adder_count(self) -> int:
+        """Total ripple-carry operators (adders + subtractors)."""
+        return len(self.graph.arithmetic_nodes)
+
+    @property
+    def register_count(self) -> int:
+        return self.graph.register_count
+
+    @property
+    def output_fmt(self) -> Fixed:
+        return self.graph.output_node.fmt
+
+    def tap_accumulator(self, tap_index: int) -> int:
+        """Graph node id of the accumulated signal after ``tap_index``.
+
+        Zero-coefficient taps contribute no operator; the nearest live
+        accumulator *at or after* the requested tap (toward the output)
+        is returned so analyses like the paper's "tap 20" always resolve.
+        """
+        for t in range(tap_index, -1, -1):
+            acc = self.taps[t].accumulator
+            if acc is not None:
+                return acc
+        raise DesignError(f"no accumulator at or before tap {tap_index}")
+
+    def frequency_response(self, n_points: int = 1024) -> np.ndarray:
+        """Complex H(e^jw) of the realized coefficients on [0, pi)."""
+        w = np.linspace(0.0, np.pi, n_points, endpoint=False)
+        k = np.arange(len(self.coefficients))
+        return np.exp(-1j * np.outer(w, k)) @ self.coefficients
+
+
+def build_transposed_fir(
+    plans: Sequence[MultiplierPlan],
+    input_fmt: Fixed = Fixed(12, 11),
+    acc_frac: int = 15,
+    name: str = "fir",
+    scaling_mode: str = "l1",
+    accumulator_width: Optional[int] = None,
+    sigma_multiplier: float = 4.0,
+) -> FilterDesign:
+    """Build and scale a digit-folded transposed-form FIR.
+
+    ``plans[k]`` realizes coefficient ``h[k]`` of ``y[n] = sum_k h[k] x[n-k]``.
+    Widths come from L1 scaling analysis (redundant sign bits removed, per
+    the paper's first design step); pass ``accumulator_width`` to force a
+    uniform accumulation-chain width instead (the un-optimized
+    conservative style, useful for headroom ablations).
+    """
+    if len(plans) < 2:
+        raise DesignError("an FIR needs at least two taps")
+    g = Graph(name=name)
+    x = g.add(OpKind.INPUT, fmt=input_fmt, role="input", name="x")
+
+    # Share shifted copies of x across taps using the same shift amount,
+    # like the fanout wiring of real hardware.
+    shift_cache: Dict[int, int] = {}
+
+    def shifted_input(shift: int) -> int:
+        if shift not in shift_cache:
+            node = g.add(OpKind.SHIFT, (x.nid,), shift=shift, role="term",
+                         name=f"x>>{shift}")
+            shift_cache[shift] = node.nid
+        return shift_cache[shift]
+
+    taps: List[TapInfo] = []
+    chain: Optional[int] = None  # running accumulation signal
+    m = len(plans)
+    for k in range(m - 1, -1, -1):  # build from the far end of the chain
+        plan = plans[k]
+        sign = -1 if plan.negate else 1
+        delay_id: Optional[int] = None
+        acc_id: Optional[int] = None
+        operators: List[int] = []
+        if chain is not None:
+            delay = g.add(OpKind.DELAY, (chain,), role="delay", tap=k,
+                          name=f"t{k}.reg")
+            delay_id = delay.nid
+            chain = delay.nid
+        for j, term in enumerate(plan.terms):
+            operand = shifted_input(term.shift)
+            effective = sign * term.sign
+            if chain is None:
+                if effective > 0:
+                    # The very first digit of the far tap is the chain.
+                    chain = operand
+                    acc_id = operand
+                    continue
+                zero = g.add(OpKind.CONST, role="const", name="zero")
+                chain = zero.nid
+            kind = OpKind.ADD if effective > 0 else OpKind.SUB
+            node = g.add(kind, (chain, operand), role="accumulator", tap=k,
+                         name=f"t{k}.d{j}")
+            operators.append(node.nid)
+            chain = node.nid
+            acc_id = node.nid
+        if plan.is_zero:
+            acc_id = None
+        taps.append(TapInfo(index=k, coefficient=plan.coefficient, plan=plan,
+                            accumulator=acc_id, delay=delay_id,
+                            operators=operators))
+    if chain is None:
+        raise DesignError("all coefficients are zero")
+    taps.sort(key=lambda t: t.index)
+
+    g.add(OpKind.OUTPUT, (chain,), role="output", name="y")
+    report = assign_formats(
+        g, frac=acc_frac, mode=scaling_mode,
+        accumulator_width=accumulator_width, sigma_multiplier=sigma_multiplier,
+    )
+    return FilterDesign(
+        name=name, graph=g, taps=taps, scaling=report,
+        input_fmt=input_fmt, acc_frac=acc_frac,
+    )
+
+
+def build_direct_fir(
+    plans: Sequence[MultiplierPlan],
+    input_fmt: Fixed = Fixed(12, 11),
+    acc_frac: int = 15,
+    name: str = "fir-direct",
+    scaling_mode: str = "l1",
+    accumulator_width: Optional[int] = None,
+    sigma_multiplier: float = 4.0,
+) -> FilterDesign:
+    """Direct-form alternative: delay line on ``x``, combinational sum.
+
+    The input runs down a register chain (``M-1`` registers of the
+    *input* width — cheaper storage than the transposed form's full-width
+    chain), and all CSD digits fold combinationally into one accumulation
+    chain.  Same operator census as the transposed form; used by the
+    architecture ablation bench.
+    """
+    if len(plans) < 2:
+        raise DesignError("an FIR needs at least two taps")
+    g = Graph(name=name)
+    x = g.add(OpKind.INPUT, fmt=input_fmt, role="input", name="x")
+
+    # The x delay line.  Registers carry the input format.
+    delayed: List[int] = [x.nid]
+    for k in range(1, len(plans)):
+        reg = g.add(OpKind.DELAY, (delayed[-1],), fmt=input_fmt,
+                    role="delay", tap=k, name=f"x.z{k}")
+        delayed.append(reg.nid)
+
+    taps: List[TapInfo] = []
+    chain: Optional[int] = None
+    for k, plan in enumerate(plans):
+        sign = -1 if plan.negate else 1
+        operators: List[int] = []
+        acc_id: Optional[int] = None
+        shift_cache: Dict[int, int] = {}
+        for j, term in enumerate(plan.terms):
+            if term.shift not in shift_cache:
+                node = g.add(OpKind.SHIFT, (delayed[k],), shift=term.shift,
+                             role="term", tap=k, name=f"x.z{k}>>{term.shift}")
+                shift_cache[term.shift] = node.nid
+            operand = shift_cache[term.shift]
+            effective = sign * term.sign
+            if chain is None:
+                if effective > 0:
+                    chain = operand
+                    acc_id = operand
+                    continue
+                zero = g.add(OpKind.CONST, role="const", name="zero")
+                chain = zero.nid
+            kind = OpKind.ADD if effective > 0 else OpKind.SUB
+            node = g.add(kind, (chain, operand), role="accumulator", tap=k,
+                         name=f"t{k}.d{j}")
+            operators.append(node.nid)
+            chain = node.nid
+            acc_id = node.nid
+        taps.append(TapInfo(index=k, coefficient=plan.coefficient, plan=plan,
+                            accumulator=acc_id,
+                            delay=delayed[k] if k else None,
+                            operators=operators))
+    if chain is None:
+        raise DesignError("all coefficients are zero")
+    g.add(OpKind.OUTPUT, (chain,), role="output", name="y")
+    report = assign_formats(
+        g, frac=acc_frac, mode=scaling_mode,
+        accumulator_width=accumulator_width, sigma_multiplier=sigma_multiplier,
+    )
+    design = FilterDesign(
+        name=name, graph=g, taps=taps, scaling=report,
+        input_fmt=input_fmt, acc_frac=acc_frac,
+    )
+    design.extra["form"] = "direct"
+    return design
+
+
+def design_from_coefficients(
+    coefficients: Sequence[float],
+    name: str = "fir",
+    input_fmt: Fixed = Fixed(12, 11),
+    coef_frac: int = 15,
+    acc_frac: int = 15,
+    max_nonzeros: int = 4,
+    scale: bool = True,
+    scale_margin: float = 0.99,
+    scaling_mode: str = "l1",
+    accumulator_width: Optional[int] = None,
+    form: str = "transposed",
+) -> FilterDesign:
+    """Quantize float coefficients and build the datapath in one step.
+
+    With ``scale=True`` the coefficients are first normalized to unit L1
+    norm (times ``scale_margin``) so the accumulation chain provably fits
+    the output format — the conservative scaling discipline of Section 3.
+    The margin leaves room for the one-sided truncation error the
+    fixed-point shift operators accumulate (bounded by one output LSB per
+    narrowing shift).  ``form`` selects the tap architecture:
+    ``"transposed"`` (the reference) or ``"direct"``.
+    """
+    coefs = np.asarray(coefficients, dtype=np.float64)
+    if scale:
+        l1 = float(np.sum(np.abs(coefs)))
+        if l1 <= 0:
+            raise DesignError("cannot scale an all-zero coefficient vector")
+        coefs = coefs * (scale_margin / l1)
+    quantized = quantize_filter(coefs, frac=coef_frac, max_nonzeros=max_nonzeros)
+    # Quantization can push the L1 norm back above 1; renormalize once if so.
+    q_l1 = sum(abs(q.value) for q in quantized)
+    if scale and q_l1 >= 1.0:
+        coefs = coefs * (scale_margin / q_l1)
+        quantized = quantize_filter(coefs, frac=coef_frac, max_nonzeros=max_nonzeros)
+    plans = [plan_multiplier(q) for q in quantized]
+    if form == "transposed":
+        builder = build_transposed_fir
+    elif form == "direct":
+        builder = build_direct_fir
+    else:
+        raise DesignError(f"unknown FIR form {form!r}")
+    return builder(
+        plans, input_fmt=input_fmt, acc_frac=acc_frac, name=name,
+        scaling_mode=scaling_mode, accumulator_width=accumulator_width,
+    )

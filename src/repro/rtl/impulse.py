@@ -1,0 +1,133 @@
+"""Linear (impulse-response) analysis of a datapath graph.
+
+Ignoring quantization, every node of an FIR datapath is a linear function
+of the input, fully characterized by a finite impulse response ``h_k``.
+The paper leans on this in two places:
+
+* Eq. 1 — the variance at adder ``k`` under a white test source is
+  ``sigma_x^2 * sum(h_k[i]**2)``;
+* the scaling pass — the worst-case magnitude at a node is bounded by the
+  L1 norm ``sum(|h_k[i]|)`` of its impulse response.
+
+This module walks the graph once and returns the exact impulse response
+of every node, plus a conservative bound on the truncation error that the
+fixed-point implementation adds on top of the linear model (each
+narrowing SHIFT floors its value, contributing up to one output LSB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..errors import DesignError
+from .graph import Graph
+from .nodes import OpKind
+
+__all__ = ["NodeResponse", "impulse_responses", "subfilter_response"]
+
+
+@dataclass
+class NodeResponse:
+    """Linear model of one node.
+
+    Attributes
+    ----------
+    h:
+        Impulse response from the graph input, as a float array (index 0
+        is the response at the same cycle the impulse is applied).
+    truncation_bound:
+        Upper bound, in engineering units, on the accumulated magnitude
+        of fixed-point truncation errors at this node.
+    """
+
+    h: np.ndarray
+    truncation_bound: float
+
+    @property
+    def l1(self) -> float:
+        """Worst-case gain: max |y| over inputs bounded by 1."""
+        return float(np.sum(np.abs(self.h)))
+
+    @property
+    def energy(self) -> float:
+        """Sum of squared impulse-response samples (Eq. 1 kernel)."""
+        return float(np.sum(self.h**2))
+
+    def magnitude_bound(self, input_peak: float = 1.0) -> float:
+        """Worst-case output magnitude including truncation effects."""
+        return self.l1 * input_peak + self.truncation_bound
+
+
+def _pad_to(h: np.ndarray, n: int) -> np.ndarray:
+    if len(h) >= n:
+        return h
+    return np.concatenate([h, np.zeros(n - len(h))])
+
+
+def impulse_responses(graph: Graph) -> Dict[int, NodeResponse]:
+    """Impulse response and truncation bound for every node.
+
+    Formats need not be assigned yet: a SHIFT node whose format is still
+    unknown is assumed to truncate (conservative), using the binary point
+    it will eventually receive only to bound the error — callers that run
+    this *before* format assignment should treat ``truncation_bound`` as
+    zero and re-run afterwards for exact bounds.
+    """
+    order = graph.topological_order()
+    out: Dict[int, NodeResponse] = {}
+    for nid in order:
+        node = graph.node(nid)
+        if node.kind is OpKind.INPUT:
+            out[nid] = NodeResponse(h=np.array([1.0]), truncation_bound=0.0)
+        elif node.kind is OpKind.CONST:
+            out[nid] = NodeResponse(h=np.zeros(1), truncation_bound=0.0)
+        elif node.kind is OpKind.DELAY:
+            src = out[node.srcs[0]]
+            out[nid] = NodeResponse(
+                h=np.concatenate([[0.0], src.h]),
+                truncation_bound=src.truncation_bound,
+            )
+        elif node.kind is OpKind.SHIFT:
+            src = out[node.srcs[0]]
+            scale = 2.0**-node.shift
+            trunc = src.truncation_bound * scale
+            if node.fmt is not None:
+                src_node = graph.node(node.srcs[0])
+                if src_node.fmt is not None:
+                    # raw_out = raw_in * 2**e with e = frac_out - frac_in - shift
+                    e = node.fmt.frac - src_node.fmt.frac - node.shift
+                    if e < 0:
+                        trunc += node.fmt.lsb  # floor() loses < 1 LSB
+            out[nid] = NodeResponse(h=src.h * scale, truncation_bound=trunc)
+        elif node.kind in (OpKind.ADD, OpKind.SUB):
+            a = out[node.srcs[0]]
+            b = out[node.srcs[1]]
+            n = max(len(a.h), len(b.h))
+            sign = 1.0 if node.kind is OpKind.ADD else -1.0
+            out[nid] = NodeResponse(
+                h=_pad_to(a.h, n) + sign * _pad_to(b.h, n),
+                truncation_bound=a.truncation_bound + b.truncation_bound,
+            )
+        elif node.kind is OpKind.OUTPUT:
+            src = out[node.srcs[0]]
+            out[nid] = NodeResponse(h=src.h.copy(),
+                                    truncation_bound=src.truncation_bound)
+        else:  # pragma: no cover - exhaustive over OpKind
+            raise DesignError(f"unhandled node kind {node.kind}")
+    return out
+
+
+def subfilter_response(graph: Graph, nid: int) -> np.ndarray:
+    """Impulse response of the subfilter that outputs at node ``nid``.
+
+    Convenience wrapper for analyses that only need one node (e.g. the
+    tap-20 studies of Section 7); trims trailing zeros.
+    """
+    h = impulse_responses(graph)[nid].h
+    nz = np.nonzero(np.abs(h) > 0)[0]
+    if len(nz) == 0:
+        return np.zeros(1)
+    return h[: nz[-1] + 1]

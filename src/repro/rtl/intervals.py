@@ -1,0 +1,65 @@
+"""Exact raw-value interval analysis of a datapath graph.
+
+Propagates ``[min, max]`` raw-integer bounds from the input through every
+node.  Endpoints are exact for the chain-free paths (shifts are monotone,
+so floor-division endpoints map exactly — e.g. a term ``x >> 15`` of a
+12-bit input reaches exactly ``[-1, 0]``, never ``+1``); additions and
+subtractions use interval arithmetic, which over-approximates when
+operands are correlated.  Over-approximation is safe for the fault
+feasibility analysis (it can only *keep* fault classes).
+
+Intervals are expressed at each node's own binary point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import DesignError
+from .graph import Graph
+from .nodes import OpKind
+
+__all__ = ["value_intervals"]
+
+
+def value_intervals(graph: Graph) -> Dict[int, Tuple[int, int]]:
+    """Raw-value ``(min, max)`` per node id.
+
+    Register reset state (0) is folded into DELAY intervals, and every
+    interval is clipped to its node's representable range (wrap-free by
+    scaling, but clipping keeps the analysis sound if callers pass
+    unscaled graphs).
+    """
+    out: Dict[int, Tuple[int, int]] = {}
+    for nid in graph.topological_order():
+        node = graph.node(nid)
+        if node.kind is OpKind.INPUT:
+            iv = (node.fmt.min_raw, node.fmt.max_raw)
+        elif node.kind is OpKind.CONST:
+            iv = (0, 0)
+        elif node.kind is OpKind.DELAY:
+            lo, hi = out[node.srcs[0]]
+            iv = (min(lo, 0), max(hi, 0))
+        elif node.kind is OpKind.SHIFT:
+            src = graph.node(node.srcs[0])
+            lo, hi = out[node.srcs[0]]
+            e = node.fmt.frac - src.fmt.frac - node.shift
+            if e >= 0:
+                iv = (lo << e, hi << e)
+            else:
+                iv = (lo >> -e, hi >> -e)  # arithmetic shift is monotone
+        elif node.kind in (OpKind.ADD, OpKind.SUB):
+            alo, ahi = out[node.srcs[0]]
+            blo, bhi = out[node.srcs[1]]
+            if node.kind is OpKind.ADD:
+                iv = (alo + blo, ahi + bhi)
+            else:
+                iv = (alo - bhi, ahi - blo)
+        elif node.kind is OpKind.OUTPUT:
+            iv = out[node.srcs[0]]
+        else:  # pragma: no cover - exhaustive over OpKind
+            raise DesignError(f"unhandled node kind {node.kind}")
+        if node.fmt is not None:
+            iv = (max(iv[0], node.fmt.min_raw), min(iv[1], node.fmt.max_raw))
+        out[nid] = iv
+    return out

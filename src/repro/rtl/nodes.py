@@ -1,0 +1,107 @@
+"""Register-transfer-level node types.
+
+The paper's filters are "networks of registers, adders, subtractors,
+fixed-shift, and sign-extension operators" (Section 3).  Those are exactly
+the node kinds modeled here:
+
+``INPUT``
+    The filter's primary input port.
+``CONST``
+    A constant source (only 0 is currently used, to realize a leading
+    negation as a subtraction from zero).
+``DELAY``
+    A register: output is the input delayed by one sample, reset to 0.
+``SHIFT``
+    A fixed arithmetic shift combined with a format change.  With
+    ``shift == 0`` this is a pure sign-extension (widening) or truncation
+    (narrowing) operator — just wiring in hardware, so it contributes no
+    faults.
+``ADD`` / ``SUB``
+    Ripple-carry adders and subtractors.  Operand 0 is the *primary*
+    (high-variance) input and operand 1 the *secondary* input, matching
+    the paper's ``A``/``B`` convention of Table 2.
+``OUTPUT``
+    The filter's primary output port (an alias of its source).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..fixedpoint import Fixed
+
+__all__ = ["OpKind", "Node", "ARITHMETIC_KINDS"]
+
+
+class OpKind(enum.Enum):
+    """RTL operator kinds."""
+
+    INPUT = "input"
+    CONST = "const"
+    DELAY = "delay"
+    SHIFT = "shift"
+    ADD = "add"
+    SUB = "sub"
+    OUTPUT = "output"
+
+
+#: Kinds that instantiate ripple-carry cells and therefore carry faults.
+ARITHMETIC_KINDS = (OpKind.ADD, OpKind.SUB)
+
+
+@dataclass
+class Node:
+    """One RTL operator.
+
+    Attributes
+    ----------
+    nid:
+        Integer id, equal to the node's index in ``Graph.nodes``.
+    kind:
+        The operator kind.
+    srcs:
+        Ids of source nodes.  ``ADD``/``SUB`` have exactly two sources,
+        ``(primary, secondary)``; ``DELAY``/``SHIFT``/``OUTPUT`` have one;
+        ``INPUT``/``CONST`` have none.
+    fmt:
+        Output fixed-point format.  May be ``None`` while the graph is
+        under construction; the scaling pass assigns final formats.
+    shift:
+        For ``SHIFT`` nodes, the right-shift amount applied to the
+        engineering value (``y = x * 2**-shift``).
+    role:
+        Structural annotation used by analyses and reports: one of
+        ``input``, ``term``, ``csd_partial``, ``product``, ``accumulator``,
+        ``delay``, ``const``, ``output``.
+    tap:
+        Tap index this node belongs to, when applicable.
+    name:
+        Human-readable label for reports.
+    """
+
+    nid: int
+    kind: OpKind
+    srcs: Tuple[int, ...] = ()
+    fmt: Optional[Fixed] = None
+    shift: int = 0
+    role: str = ""
+    tap: Optional[int] = None
+    name: str = field(default="")
+
+    @property
+    def is_arithmetic(self) -> bool:
+        """True for fault-bearing adders and subtractors."""
+        return self.kind in ARITHMETIC_KINDS
+
+    @property
+    def width(self) -> int:
+        """Output width in bits (format must be assigned)."""
+        if self.fmt is None:
+            raise ValueError(f"node {self.nid} ({self.name}) has no format yet")
+        return self.fmt.width
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        fmt = str(self.fmt) if self.fmt is not None else "Q(?)"
+        return f"#{self.nid} {self.kind.value} {fmt} {self.name}"

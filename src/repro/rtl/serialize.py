@@ -1,0 +1,150 @@
+"""Design serialization: JSON round-trip for filter datapaths.
+
+A design's structure (nodes, formats, taps, coefficients) is fully
+deterministic data; serializing it lets experiments pin the exact
+datapath they ran on, ship designs between tools, and diff design
+revisions.  The JSON schema is versioned and strictly validated on load.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..csd import QuantizedCoefficient, csd_encode, plan_multiplier
+from ..errors import DesignError
+from ..fixedpoint import Fixed
+from .build import FilterDesign, TapInfo
+from .graph import Graph
+from .nodes import OpKind
+from .scaling import ScalingReport
+
+__all__ = ["design_to_dict", "design_from_dict", "save_design", "load_design"]
+
+_SCHEMA_VERSION = 1
+
+
+def _fmt_to_list(fmt: Fixed) -> List[int]:
+    return [fmt.width, fmt.frac]
+
+
+def design_to_dict(design: FilterDesign) -> Dict:
+    """A JSON-compatible snapshot of a design."""
+    graph = design.graph
+    return {
+        "schema": _SCHEMA_VERSION,
+        "name": design.name,
+        "kind": design.kind,
+        "input_fmt": _fmt_to_list(design.input_fmt),
+        "acc_frac": design.acc_frac,
+        "nodes": [
+            {
+                "kind": n.kind.value,
+                "srcs": list(n.srcs),
+                "fmt": _fmt_to_list(n.fmt),
+                "shift": n.shift,
+                "role": n.role,
+                "tap": n.tap,
+                "name": n.name,
+            }
+            for n in graph.nodes
+        ],
+        "taps": [
+            {
+                "index": t.index,
+                "coefficient": {
+                    "ideal": t.coefficient.ideal,
+                    "raw": t.coefficient.raw,
+                    "frac": t.coefficient.frac,
+                },
+                "accumulator": t.accumulator,
+                "delay": t.delay,
+                "operators": list(t.operators),
+            }
+            for t in design.taps
+        ],
+        "scaling": {
+            "mode": design.scaling.mode,
+            "frac": design.scaling.frac,
+        },
+    }
+
+
+def design_from_dict(data: Dict) -> FilterDesign:
+    """Rebuild a design from :func:`design_to_dict` output."""
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise DesignError(
+            f"unsupported design schema {data.get('schema')!r}; "
+            f"this build reads version {_SCHEMA_VERSION}"
+        )
+    graph = Graph(name=data["name"])
+    for spec in data["nodes"]:
+        try:
+            kind = OpKind(spec["kind"])
+        except ValueError:
+            raise DesignError(f"unknown node kind {spec['kind']!r}") from None
+        graph.add(
+            kind,
+            tuple(spec["srcs"]),
+            fmt=Fixed(*spec["fmt"]),
+            shift=spec["shift"],
+            role=spec["role"],
+            tap=spec["tap"],
+            name=spec["name"],
+        )
+    graph.validate()
+
+    taps: List[TapInfo] = []
+    for t in data["taps"]:
+        coef = QuantizedCoefficient(
+            ideal=float(t["coefficient"]["ideal"]),
+            raw=int(t["coefficient"]["raw"]),
+            frac=int(t["coefficient"]["frac"]),
+            digits=tuple(csd_encode(abs(int(t["coefficient"]["raw"])))),
+        )
+        taps.append(TapInfo(
+            index=int(t["index"]),
+            coefficient=coef,
+            plan=plan_multiplier(coef),
+            accumulator=t["accumulator"],
+            delay=t["delay"],
+            operators=list(t["operators"]),
+        ))
+    taps.sort(key=lambda t: t.index)
+
+    design = FilterDesign(
+        name=data["name"],
+        graph=graph,
+        taps=taps,
+        scaling=ScalingReport(mode=data["scaling"]["mode"],
+                              frac=data["scaling"]["frac"],
+                              bounds={}, widths={}, iterations=0),
+        input_fmt=Fixed(*data["input_fmt"]),
+        acc_frac=int(data["acc_frac"]),
+        kind=data.get("kind", "custom"),
+    )
+    # Scaling bounds are not serialized; recompute them so downstream
+    # analyses (feasibility pruning) behave identically.
+    from .impulse import impulse_responses
+
+    responses = impulse_responses(graph)
+    input_peak = max(abs(design.input_fmt.min_value),
+                     design.input_fmt.max_value)
+    design.scaling.bounds.update({
+        nid: resp.magnitude_bound(input_peak)
+        for nid, resp in responses.items()
+    })
+    design.scaling.widths.update({n.nid: n.fmt.width for n in graph.nodes})
+    return design
+
+
+def save_design(design: FilterDesign, path: str) -> None:
+    """Write a design snapshot to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(design_to_dict(design), fh, indent=1)
+
+
+def load_design(path: str) -> FilterDesign:
+    """Read a design snapshot from a JSON file."""
+    with open(path) as fh:
+        return design_from_dict(json.load(fh))

@@ -1,0 +1,36 @@
+"""Shared fixtures.
+
+Reference designs and the experiment context are expensive (a few
+seconds); they are session-scoped and additionally cached per process by
+the library itself, so the whole suite builds each design exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.filters import lowpass_design
+
+from helpers import build_small_design
+
+
+@pytest.fixture(scope="session")
+def small_design():
+    return build_small_design()
+
+
+@pytest.fixture(scope="session")
+def lp_design():
+    return lowpass_design()
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(20260706)

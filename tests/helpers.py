@@ -1,0 +1,22 @@
+"""Shared test helpers (importable from any test module)."""
+
+from __future__ import annotations
+
+from repro.rtl import design_from_coefficients
+
+#: A handful of coefficient sets exercising adds, subs, leading-negative
+#: taps, zero taps and single-digit taps.
+SMALL_COEFSETS = {
+    "plain": [0.3, -0.45, 0.12, 0.08, -0.2],
+    "leading_negative": [0.4, 0.3, -0.2],  # far-end tap negative
+    "with_zero": [0.25, 0.0, -0.125, 0.5],
+    "single_digit": [0.5, -0.25],
+}
+
+
+def build_small_design(key: str = "plain", **kwargs):
+    """A compact design for exhaustive / gate-level tests."""
+    defaults = dict(name=f"small-{key}", coef_frac=8, acc_frac=10,
+                    max_nonzeros=4)
+    defaults.update(kwargs)
+    return design_from_coefficients(SMALL_COEFSETS[key], **defaults)

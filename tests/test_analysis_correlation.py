@@ -1,0 +1,86 @@
+"""Correlation structure of the generators — the Section 6 claims."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bit_correlation_matrix,
+    successive_vector_correlation,
+    word_autocorrelation,
+)
+from repro.errors import AnalysisError
+from repro.generators import (
+    DecorrelatedLfsr,
+    MaxVarianceLfsr,
+    RampGenerator,
+    Type1Lfsr,
+)
+
+
+class TestWordAutocorrelation:
+    def test_lag_zero_is_one(self):
+        auto = word_autocorrelation(Type1Lfsr(12), max_lag=4)
+        assert auto[0] == pytest.approx(1.0)
+
+    def test_type1_successive_words_negatively_correlated(self):
+        """The cause of the low-frequency rolloff: the MSB (weight -1)
+        of word t+1 is a fresh bit while the rest is word t shifted, so
+        successive words anti-correlate."""
+        auto = word_autocorrelation(Type1Lfsr(12), max_lag=1)
+        assert auto[1] == pytest.approx(-0.25, abs=0.03)
+
+    def test_decorrelator_removes_it(self):
+        auto = word_autocorrelation(DecorrelatedLfsr(12), max_lag=4)
+        assert np.max(np.abs(auto[1:])) < 0.05
+
+    def test_ramp_is_strongly_correlated(self):
+        auto = word_autocorrelation(RampGenerator(12), max_lag=1,
+                                    n_vectors=4096)
+        assert auto[1] > 0.99
+
+    def test_constant_sequence_rejected(self):
+        class Constant(RampGenerator):
+            def generate(self, n):
+                return np.zeros(n, dtype=np.int64)
+
+        with pytest.raises(AnalysisError):
+            word_autocorrelation(Constant(12), max_lag=2, n_vectors=64)
+
+
+class TestBitCorrelations:
+    def test_same_vector_bits_independent_for_lfsr1(self):
+        m = bit_correlation_matrix(Type1Lfsr(12), lag=0)
+        off = m - np.eye(12)
+        assert np.max(np.abs(off)) < 0.1
+
+    def test_lag1_shift_structure_of_lfsr1(self):
+        """Word t+1 holds word t shifted by one place: bit i at time t
+        equals bit i-1 at time t+1 (msb_to_lsb), a perfect correlation
+        on the shifted diagonal."""
+        m = bit_correlation_matrix(Type1Lfsr(12), lag=1)
+        diag = [m[i, i - 1] for i in range(1, 12)]
+        assert min(diag) > 0.999
+
+    def test_decorrelator_flattens_lag1_structure(self):
+        m = bit_correlation_matrix(DecorrelatedLfsr(12), lag=1)
+        assert np.max(np.abs(m)) < 0.1
+
+    def test_max_variance_bits_fully_correlated(self):
+        """All word bits carry (essentially) the same value — the cause
+        of LFSR-M's low-bit pattern blindness."""
+        m = bit_correlation_matrix(MaxVarianceLfsr(12), lag=0)
+        # 0x7FF vs 0x800: bits 0..10 identical, the sign bit inverted
+        assert np.min(m[:11, :11]) > 0.999
+        assert np.max(m[11, :11]) < -0.999
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(AnalysisError):
+            bit_correlation_matrix(Type1Lfsr(12), lag=-1)
+
+
+class TestSummary:
+    def test_summary_orders_generators_as_the_paper_describes(self):
+        w1, b1 = successive_vector_correlation(Type1Lfsr(12))
+        wd, bd = successive_vector_correlation(DecorrelatedLfsr(12))
+        assert abs(w1) > 10 * max(abs(wd), 1e-3)
+        assert b1 > 10 * max(bd, 1e-3)

@@ -1,0 +1,165 @@
+"""Linear LFSR models, variance propagation, amplitude distributions:
+predictions must match bit-true simulation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bernoulli_sum_distribution,
+    cascade,
+    decorrelated_lfsr_model,
+    max_variance_lfsr_model,
+    model_power_spectrum,
+    predict_node_variances,
+    predicted_sigma_at_tap,
+    predicted_tap_distribution,
+    simulated_tap_histogram,
+    type1_lfsr_model,
+    type2_lfsr_model,
+    uniform_sum_distribution,
+    uniform_white_model,
+)
+from repro.analysis.spectrum import band_power, generator_spectrum
+from repro.errors import AnalysisError
+from repro.generators import Type1Lfsr, Type2Lfsr, match_width
+from repro.rtl import simulate
+
+from helpers import build_small_design
+
+
+class TestType1Model:
+    def test_impulse_response_shape(self):
+        g = type1_lfsr_model(12).g
+        assert g[0] == -1.0
+        assert g[1] == 0.5
+        assert len(g) == 12
+
+    def test_model_variance_matches_sequence(self):
+        model = type1_lfsr_model(12)
+        measured = (Type1Lfsr(12).sequence(4095) / 2**11).var()
+        assert model.output_variance() == pytest.approx(measured, rel=0.01)
+
+    def test_model_mean_is_near_zero(self):
+        model = type1_lfsr_model(12)
+        assert abs(model.output_mean()) < 1e-3
+
+    def test_model_spectrum_matches_measured(self):
+        model = type1_lfsr_model(12)
+        fm, pm = model_power_spectrum(model, n_points=256)
+        fs, ps = generator_spectrum(Type1Lfsr(12))
+        for lo, hi in ((0.002, 0.05), (0.1, 0.2), (0.3, 0.45)):
+            assert band_power(fm, pm, lo, hi) == pytest.approx(
+                band_power(fs, ps, lo, hi), rel=0.15)
+
+    def test_direction_reverses_response(self):
+        fwd = type1_lfsr_model(12, "msb_to_lsb").g
+        rev = type1_lfsr_model(12, "lsb_to_msb").g
+        assert np.array_equal(rev, fwd[::-1])
+
+    def test_unknown_direction(self):
+        with pytest.raises(AnalysisError):
+            type1_lfsr_model(12, "diagonal")
+
+
+class TestType2Model:
+    def test_segments_partition_register(self):
+        model = type2_lfsr_model(12, 0x12B9)
+        total = sum(len(b) for b in model.branches)
+        assert total == 12
+
+    def test_variance_close_to_measured(self):
+        model = type2_lfsr_model(12, 0x12B9)
+        measured = (Type2Lfsr(12).sequence(4095) / 2**11).var()
+        assert model.output_variance() == pytest.approx(measured, rel=0.1)
+
+    def test_spectrum_flatter_than_type1(self):
+        m1 = type1_lfsr_model(12)
+        m2 = type2_lfsr_model(12, 0x12B9)
+        f1, p1 = model_power_spectrum(m1)
+        f2, p2 = model_power_spectrum(m2)
+        lo1 = band_power(f1, p1, 0.002, 0.01)
+        lo2 = band_power(f2, p2, 0.002, 0.01)
+        assert lo2 > 3 * lo1
+
+    def test_degree_mismatch(self):
+        with pytest.raises(AnalysisError):
+            type2_lfsr_model(10, 0x12B9)
+
+
+class TestVariancePropagation:
+    """Eq. 1 of the paper against bit-true simulation."""
+
+    @pytest.mark.parametrize("model_fn,gen_key", [
+        (type1_lfsr_model, "LFSR-1"),
+        (decorrelated_lfsr_model, "LFSR-D"),
+        (max_variance_lfsr_model, "LFSR-M"),
+    ])
+    def test_predicted_sigma_matches_simulation(self, model_fn, gen_key,
+                                                lp_design, ctx):
+        model = model_fn(12)
+        gen = ctx.standard_generators()[gen_key]
+        nid = lp_design.tap_accumulator(20)
+        raw = match_width(gen.sequence(8192), 12, 12)
+        measured = simulate(lp_design.graph, raw,
+                            keep_nodes=[nid]).normalized(nid).std()
+        predicted = predicted_sigma_at_tap(lp_design, 20, model)
+        assert predicted == pytest.approx(measured, rel=0.05)
+
+    def test_paper_tap20_attenuation_ratio(self, lp_design):
+        """Figure 6/7: the decorrelator raises tap-20 sigma ~3.4x."""
+        s1 = predicted_sigma_at_tap(lp_design, 20, type1_lfsr_model(12))
+        sd = predicted_sigma_at_tap(lp_design, 20, decorrelated_lfsr_model(12))
+        assert 2.0 < sd / s1 < 5.0
+
+    def test_all_nodes_have_predictions(self, small_design):
+        out = predict_node_variances(small_design, uniform_white_model(12))
+        assert set(out) == {n.nid for n in small_design.graph.arithmetic_nodes}
+        for nv in out.values():
+            assert nv.sigma >= 0.0
+            assert nv.untested_upper_bits >= 0.0
+
+
+class TestDistributions:
+    def test_bernoulli_two_weights(self):
+        dist = bernoulli_sum_distribution(np.array([0.5, -0.25]), bins=2048)
+        # four equally likely outcomes: 0, 0.5, -0.25, 0.25
+        for v in (0.0, 0.5, -0.25, 0.25):
+            assert dist.probability(v - 0.01, v + 0.01) == pytest.approx(0.25,
+                                                                         abs=1e-6)
+
+    def test_bernoulli_sigma_formula(self):
+        w = np.array([0.3, -0.2, 0.1])
+        dist = bernoulli_sum_distribution(w, bins=8192)
+        assert dist.sigma() == pytest.approx(0.5 * np.sqrt(np.sum(w**2)),
+                                             rel=0.01)
+
+    def test_uniform_sum_sigma(self):
+        w = np.array([0.5, 0.25])
+        dist = uniform_sum_distribution(w, bins=8192)
+        expected = np.sqrt(np.sum(w**2) / 3.0)
+        assert dist.sigma() == pytest.approx(expected, rel=0.02)
+
+    def test_predicted_matches_histogram_lfsr1(self, lp_design, ctx):
+        """Figure 8: theory curve vs simulation histogram."""
+        model = type1_lfsr_model(12)
+        pred = predicted_tap_distribution(lp_design, 20, model)
+        hist = simulated_tap_histogram(lp_design, 20,
+                                       ctx.standard_generators()["LFSR-1"],
+                                       n_vectors=16384, bins=101,
+                                       span=pred.grid[-1])
+        pred_on = np.interp(hist.grid, pred.grid, pred.pdf)
+        overlap = np.sum(np.minimum(pred_on, hist.pdf)) * hist.bin_width
+        assert overlap > 0.9
+
+    def test_unknown_model_rejected(self, lp_design):
+        from repro.analysis import SourceModel
+        odd = SourceModel(name="odd", branches=((1.0,),), sigma2=0.5, mean=0.1)
+        with pytest.raises(AnalysisError):
+            predicted_tap_distribution(lp_design, 20, odd)
+
+    def test_cascade_variance_composition(self):
+        model = uniform_white_model(12)
+        h = np.array([0.5, -0.25, 0.125])
+        seen = cascade(model, h)
+        assert seen.output_variance() == pytest.approx(
+            (1 / 3) * np.sum(h**2))

@@ -1,0 +1,59 @@
+"""Per-band compatibility and the band-stop generality check."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import generator_spectrum, per_band_compatibility
+from repro.errors import AnalysisError
+from repro.filters import BANDSTOP_SPEC
+from repro.filters.design import design_prototype, response_magnitude
+from repro.filters.reference import build_reference
+from repro.generators import DecorrelatedLfsr, RampGenerator
+
+PASSBANDS = [(0.0, 0.1), (0.37, 0.5)]
+
+
+class TestPerBandCompatibility:
+    def test_flat_generator_scores_near_one_everywhere(self):
+        f, p = generator_spectrum(DecorrelatedLfsr(12))
+        worst, ratios = per_band_compatibility(f, p, PASSBANDS)
+        assert worst > 0.9
+        assert all(abs(r - 1.0) < 0.15 for r in ratios)
+
+    def test_ramp_fails_the_upper_band(self):
+        f, p = generator_spectrum(RampGenerator(12))
+        worst, ratios = per_band_compatibility(f, p, PASSBANDS)
+        assert ratios[0] > 1.0   # floods DC
+        assert ratios[1] < 0.01  # starves the upper passband
+        assert worst == ratios[1]
+
+    def test_empty_passbands_rejected(self):
+        f, p = generator_spectrum(DecorrelatedLfsr(12))
+        with pytest.raises(AnalysisError):
+            per_band_compatibility(f, p, [])
+
+    def test_out_of_grid_band_rejected(self):
+        f, p = generator_spectrum(DecorrelatedLfsr(12))
+        with pytest.raises(AnalysisError):
+            per_band_compatibility(f, p, [(0.6, 0.7)])
+
+
+class TestBandstopDesign:
+    def test_prototype_has_a_notch(self):
+        coefs = design_prototype(BANDSTOP_SPEC)
+        freqs, mag = response_magnitude(coefs)
+        notch = (freqs >= 0.17) & (freqs <= 0.3)
+        lower = (freqs >= 0.0) & (freqs <= 0.1)
+        upper = (freqs >= 0.37) & (freqs <= 0.5)
+        assert np.max(mag[notch]) < 0.15
+        assert np.min(mag[lower]) > 0.85
+        assert np.min(mag[upper]) > 0.85
+
+    def test_bandstop_builds_into_a_valid_datapath(self, rng):
+        design = build_reference(BANDSTOP_SPEC)
+        from repro.rtl import simulate
+        raw = rng.integers(-2048, 2048, size=200)
+        out = simulate(design.graph, raw).engineering(design.graph.output_id)
+        ref = np.convolve(raw / 2**11, design.coefficients)[:200]
+        n_terms = sum(len(t.plan.terms) for t in design.taps)
+        assert np.max(np.abs(out - ref)) <= (n_terms + 2) * design.output_fmt.lsb

@@ -1,0 +1,148 @@
+"""Distribution-based test-length prediction vs bit-true measurement."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    decorrelated_lfsr_model,
+    expected_detection_times,
+    node_distribution,
+    operator_pattern_probabilities,
+    predicted_missed_count,
+    type1_lfsr_model,
+    uniform_white_model,
+)
+from repro.errors import AnalysisError
+from repro.faultsim import build_fault_universe, run_fault_coverage, \
+    track_patterns
+from repro.faultsim.patterns import PatternTracker, UNSEEN
+from repro.generators import UniformWhiteGenerator
+
+from helpers import build_small_design
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build_small_design("plain")
+
+
+@pytest.fixture(scope="module")
+def universe(design):
+    return build_fault_universe(design.graph)
+
+
+class TestPatternProbabilities:
+    def test_rows_sum_to_one(self, design):
+        node = design.graph.arithmetic_nodes[0]
+        probs = operator_pattern_probabilities(design, node.nid,
+                                               uniform_white_model(12))
+        assert probs.shape == (node.fmt.width, 8)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_structurally_infeasible_patterns_get_zero(self, design):
+        """Cells the feasibility analysis restricts must show (near) zero
+        probability for the infeasible codes."""
+        from repro.faultsim import design_feasible_masks
+        feasible = design_feasible_masks(design.graph)
+        node = design.graph.arithmetic_nodes[0]
+        probs = operator_pattern_probabilities(design, node.nid,
+                                               uniform_white_model(12))
+        for bit in range(2, node.fmt.width):
+            mask = feasible[(node.nid, bit)]
+            for n in range(8):
+                if not mask & (1 << n):
+                    assert probs[bit, n] < 1e-6, (bit, n)
+
+    def test_non_arithmetic_node_rejected(self, design):
+        with pytest.raises(AnalysisError):
+            operator_pattern_probabilities(design, design.graph.input_id,
+                                           uniform_white_model(12))
+
+    def test_upper_cell_probabilities_match_simulation(self, design,
+                                                       universe):
+        """Predicted per-vector pattern probabilities at an upper cell vs
+        empirical frequencies over a long white session."""
+        gen = UniformWhiteGenerator(12, seed=11)
+        raw = gen.sequence(1 << 15)
+        from repro.rtl import simulate, OpKind
+        from repro.fixedpoint import cell_pattern_codes
+        counts = {}
+
+        def hook(node, a, b):
+            is_sub = node.kind is OpKind.SUB
+            codes = cell_pattern_codes(a, b, 1 if is_sub else 0,
+                                       node.fmt.width, invert_b=is_sub)
+            counts[node.nid] = codes
+
+        simulate(design.graph, raw, adder_hook=hook)
+        # first digit of tap 0: primary = registered chain (past inputs),
+        # secondary = current input term -> truly independent operands,
+        # where the prediction is exact
+        node = design.graph.node(design.taps[0].operators[0])
+        probs = operator_pattern_probabilities(design, node.nid,
+                                               uniform_white_model(12))
+        k = node.fmt.width - 2
+        empirical = np.bincount(counts[node.nid][k], minlength=8) / (1 << 15)
+        assert np.max(np.abs(probs[k] - empirical)) < 0.03
+
+
+class TestExpectedTimes:
+    def test_shapes_and_positivity(self, design, universe):
+        times = expected_detection_times(design, universe,
+                                         uniform_white_model(12))
+        assert len(times) == universe.fault_count
+        assert np.all(times >= 1.0)
+
+    def test_predicted_ordering_matches_measured(self, design, universe):
+        """Faults predicted easy must be detected early; predicted-hard
+        faults late, on average."""
+        times = expected_detection_times(design, universe,
+                                         uniform_white_model(12))
+        result = run_fault_coverage(design, UniformWhiteGenerator(12, seed=5),
+                                    4096, universe=universe)
+        measured = result.detect_time.astype(float)
+        measured[measured > 10**9] = 4096.0
+        finite = np.isfinite(times)
+        easy = times[finite] < 16
+        hard = times[finite] > 256
+        if easy.any() and hard.any():
+            assert measured[finite][easy].mean() < measured[finite][hard].mean()
+
+    def test_missed_count_prediction_bounds_measurement(self, design,
+                                                        universe):
+        """The iid prediction over-approximates an exhaustive LFSR-free
+        session but stays within a small factor."""
+        n = 2048
+        predicted = predicted_missed_count(design, universe,
+                                           uniform_white_model(12), n)
+        measured = run_fault_coverage(design, UniformWhiteGenerator(12),
+                                      n, universe=universe).missed()
+        assert predicted >= 0.5 * measured
+        assert predicted <= 4.0 * max(measured, 1)
+
+    def test_type1_predicted_worse_than_decorrelated_on_lowpass(self, ctx):
+        """The prediction engine reproduces the paper's comparison without
+        running a single fault-simulation vector."""
+        design = ctx.designs["LP"]
+        universe = ctx.universe("LP")
+        p1 = predicted_missed_count(design, universe, type1_lfsr_model(12),
+                                    4096, bins=512)
+        pd = predicted_missed_count(design, universe,
+                                    decorrelated_lfsr_model(12), 4096,
+                                    bins=512)
+        assert p1 > 1.1 * pd
+
+
+class TestNodeDistribution:
+    def test_reference_scale(self, design):
+        node = design.graph.arithmetic_nodes[-1]
+        own = node_distribution(design, node.nid, uniform_white_model(12))
+        doubled = node_distribution(design, node.nid, uniform_white_model(12),
+                                    reference_half_scale=2 * node.fmt.half_scale)
+        assert doubled.sigma() == pytest.approx(own.sigma() / 2, rel=0.05)
+
+    def test_sign_source_supported(self, design):
+        from repro.analysis import max_variance_lfsr_model
+        node = design.graph.arithmetic_nodes[-1]
+        dist = node_distribution(design, node.nid, max_variance_lfsr_model(12))
+        assert dist.sigma() > 0

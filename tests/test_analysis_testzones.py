@@ -1,0 +1,146 @@
+"""Verify Table 2 and the Figure 1 test zones against bit-level truth.
+
+These tests exhaustively enumerate operand pairs of a real ripple-carry
+adder and check that the behavioural conditions of Table 2 coincide with
+the actual (a, b, c) pattern at the next-to-MSB cell.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DIFFICULT_TESTS,
+    classes_for_code,
+    difficult_test_table,
+    zone_probabilities,
+)
+from repro.analysis.testzones import test_zones as zones_for_beta
+from repro.analysis.distribution import AmplitudeDistribution
+from repro.analysis.testzones import next_to_msb_code
+from repro.errors import AnalysisError
+from repro.fixedpoint import wrap
+
+WIDTH = 8
+HALF = 1 << (WIDTH - 1)
+
+
+def _norm(raw):
+    return raw / HALF
+
+
+def _condition_holds(cls, a_raw, b_raw):
+    """Evaluate one Table 2 class on normalized operands.
+
+    The table's output conditions are on the adder's wrapped output; the
+    (ovf) marker distinguishes classes that additionally require the true
+    sum to overflow the representable range.
+    """
+    a = _norm(a_raw)
+    true_sum = _norm(a_raw + b_raw)
+    overflowed = not (-1.0 <= true_sum < 1.0)
+    if overflowed != cls.overflow:
+        return False
+    out = _norm(wrap(a_raw + b_raw, WIDTH))  # wrapped adder output
+    lo, hi = cls.input_range
+    if not (lo <= a < hi):
+        return False
+    cond = cls.output_condition
+    if cond.startswith("A+B >= "):
+        return out >= float(cond.split(">= ")[1].split(" ")[0])
+    if cond.startswith("A+B < "):
+        return out < float(cond.split("< ")[1].split(" ")[0])
+    raise AssertionError(cond)
+
+
+class TestTable2:
+    def test_eight_classes_over_four_tests(self):
+        table = difficult_test_table()
+        assert len(table) == 8
+        assert sorted({c.test for c in table}) == list(DIFFICULT_TESTS)
+
+    def test_conditions_match_cell_patterns_exhaustively(self):
+        """For every (A, B) pair with B constrained to |B| < 0.5 (the
+        variance-mismatch setting), the next-to-MSB cell receives code n
+        iff exactly one Tn class condition holds."""
+        b_values = np.arange(-HALF // 2 + 1, HALF // 2 - 1, 3)
+        a_values = np.arange(-HALF, HALF, 1)
+        for b_raw in b_values[::9]:
+            codes = next_to_msb_code(a_values, np.full_like(a_values, b_raw),
+                                     WIDTH)
+            for a_raw, code in zip(a_values[::7], codes[::7]):
+                if int(code) not in DIFFICULT_TESTS:
+                    continue
+                matches = [c for c in classes_for_code(int(code))
+                           if _condition_holds(c, int(a_raw), int(b_raw))]
+                assert len(matches) == 1, (a_raw, b_raw, code)
+
+    def test_conditions_imply_pattern(self):
+        """Conversely: when a class condition holds, the cell sees that
+        class's test number."""
+        rng = np.random.default_rng(3)
+        a_values = rng.integers(-HALF, HALF, size=3000)
+        b_values = rng.integers(-HALF // 4, HALF // 4, size=3000)
+        codes = next_to_msb_code(a_values, b_values, WIDTH)
+        for cls in difficult_test_table():
+            held = np.array([
+                _condition_holds(cls, int(a), int(b))
+                for a, b in zip(a_values, b_values)
+            ])
+            if not held.any():
+                continue
+            assert np.all(codes[held] == cls.test), cls.label
+
+    def test_overflow_classes_marked(self):
+        ovf = [c.label for c in difficult_test_table() if c.overflow]
+        assert ovf == ["T2b", "T5b"]
+
+
+class TestZones:
+    def test_zone_layout(self):
+        zones = zones_for_beta(0.1)
+        assert zones["T1a"] == (pytest.approx(0.4), 0.5)
+        assert zones["T5b"] == (pytest.approx(0.9), 1.0)
+        assert zones["T2b"][0] == -1.0
+
+    def test_zone_width_proportional_to_beta(self):
+        narrow = zones_for_beta(0.05)
+        wide = zones_for_beta(0.2)
+        for label in narrow:
+            n = narrow[label][1] - narrow[label][0]
+            w = wide[label][1] - wide[label][0]
+            assert w == pytest.approx(4 * n)
+
+    def test_invalid_beta(self):
+        with pytest.raises(AnalysisError):
+            zones_for_beta(0.0)
+        with pytest.raises(AnalysisError):
+            zones_for_beta(0.9)
+
+    def test_zones_are_where_patterns_happen(self):
+        """Empirically: T1 at the next-to-MSB only fires when the primary
+        input is inside the T1a/T1b zones (plus B-grid slack)."""
+        rng = np.random.default_rng(11)
+        beta = 0.25
+        b_half = int(HALF * beta)
+        a_values = rng.integers(-HALF, HALF, size=20000)
+        b_values = rng.integers(-b_half, b_half, size=20000)
+        codes = next_to_msb_code(a_values, b_values, WIDTH)
+        t1 = codes == 1
+        zones = zones_for_beta(beta)
+        in_zone = np.zeros(len(a_values), dtype=bool)
+        for label in ("T1a", "T1b"):
+            lo, hi = zones[label]
+            in_zone |= (a_values >= lo * HALF) & (a_values < hi * HALF)
+        assert np.all(in_zone[t1])
+
+    def test_zone_probabilities_from_distribution(self):
+        grid = np.linspace(-1.2, 1.2, 1201)
+        pdf = np.where(np.abs(grid) < 0.2, 2.5, 0.0)  # uniform on [-0.2,0.2)
+        dist = AmplitudeDistribution(grid=grid, pdf=pdf)
+        probs = zone_probabilities(dist, beta=0.1)
+        # An attenuated signal never reaches the T1/T6 zones near ±0.5 ...
+        assert probs["T1a"] == pytest.approx(0.0, abs=1e-6)
+        assert probs["T6b"] == pytest.approx(0.0, abs=1e-6)
+        # ... but hits the T2a/T5a zones around 0 easily.
+        assert probs["T2a"] > 0.1
+        assert probs["T5a"] > 0.1

@@ -1,0 +1,137 @@
+"""Edge-case and API-surface tests across modules.
+
+Covers interfaces the main suites exercise only on the happy path:
+gate-simulator fault kinds and net observation, coverage-curve options,
+CSA analysis aids, spectrum estimator options, generator misuse.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError, SimulationError
+from repro.faultsim import build_fault_universe, run_fault_coverage
+from repro.gates import NetlistFault, elaborate, simulate_netlist
+from repro.generators import (
+    GaloisLfsr,
+    SineGenerator,
+    Type1Lfsr,
+    UniformWhiteGenerator,
+)
+from repro.rtl import carry_save_from_coefficients, simulate
+
+from helpers import SMALL_COEFSETS, build_small_design
+
+
+class TestGateSimInterface:
+    def test_observe_nets(self, small_design, rng):
+        nl = elaborate(small_design.graph)
+        raw = rng.integers(-100, 100, size=8)
+        target = nl.output_bits[0]
+        result = simulate_netlist(nl, raw, observe_nets=[target])
+        assert target in result["nets"]
+        assert result["nets"][target].shape == (8,)
+
+    def test_unknown_fault_kind_rejected(self, small_design, rng):
+        nl = elaborate(small_design.graph)
+        raw = rng.integers(-100, 100, size=8)
+        bad = NetlistFault(lines=("bus", 3), value=1)
+        with pytest.raises(SimulationError):
+            simulate_netlist(nl, raw, fault=bad)
+
+    def test_stuck_output_net(self, small_design, rng):
+        nl = elaborate(small_design.graph)
+        raw = rng.integers(-100, 100, size=8)
+        out_net = nl.output_bits[-1]  # the output sign bit
+        fault = NetlistFault(lines=("net", out_net), value=1)
+        faulty = simulate_netlist(nl, raw, fault=fault)["output"]
+        assert np.all(faulty < 0)  # sign bit forced on
+
+
+class TestCoverageCurveOptions:
+    def test_custom_points(self, small_design):
+        result = run_fault_coverage(small_design, Type1Lfsr(12), 256)
+        pts, undetected = result.curve(points=[1, 64, 256])
+        assert list(pts) == [1, 64, 256]
+        assert undetected[-1] == result.missed()
+
+    def test_percent_curve_reaches_coverage(self, small_design):
+        result = run_fault_coverage(small_design, Type1Lfsr(12), 256)
+        pts, pct = result.coverage_percent_curve(points=[256])
+        assert pct[0] == pytest.approx(100.0 * result.coverage())
+
+    def test_missed_at_intermediate_point(self, small_design):
+        result = run_fault_coverage(small_design, Type1Lfsr(12), 512)
+        assert result.missed(1) >= result.missed(256) >= result.missed(512)
+
+
+class TestCsaAnalysisAids:
+    def test_value_after_stage_matches_prefix_convolution(self, rng):
+        csa = carry_save_from_coefficients(SMALL_COEFSETS["plain"],
+                                           coef_frac=8, acc_frac=10,
+                                           width=12)
+        raw = rng.integers(-2048, 2048, size=64)
+        last = csa.stages[-1]
+        v = csa.value_after_stage(last.stage_id, raw)
+        full = csa.simulate(raw)["output"] / (1 << (csa.fmt.width - 1))
+        assert np.allclose(v, full)
+
+
+class TestGeneratorMisuse:
+    def test_width_too_small(self):
+        with pytest.raises(GeneratorError):
+            Type1Lfsr(1)
+
+    def test_galois_direction_variants_differ(self):
+        a = GaloisLfsr(10, direction="lsb_to_msb").sequence(64)
+        b = GaloisLfsr(10, direction="msb_to_lsb").sequence(64)
+        assert not np.array_equal(a, b)
+
+    def test_sine_phase(self):
+        base = SineGenerator(12, freq=0.01).sequence(100)
+        shifted = SineGenerator(12, freq=0.01, phase=np.pi).sequence(100)
+        assert np.allclose(base, -shifted, atol=2)
+
+    def test_generate_zero_vectors(self):
+        assert len(Type1Lfsr(12).generate(0)) == 0
+
+    def test_normalized_helper(self):
+        vals = UniformWhiteGenerator(12).normalized(100)
+        assert np.all(np.abs(vals) <= 1.0)
+
+
+class TestUniverseReuseGuards:
+    def test_same_graph_fresh_universes_are_equivalent(self, small_design):
+        a = build_fault_universe(small_design.graph)
+        b = build_fault_universe(small_design.graph)
+        assert a.fault_count == b.fault_count
+        assert np.array_equal(a.fault_mask, b.fault_mask)
+
+    def test_coverage_independent_of_universe_instance(self, small_design):
+        a = run_fault_coverage(small_design, Type1Lfsr(12), 128)
+        b = run_fault_coverage(small_design, Type1Lfsr(12), 128,
+                               universe=build_fault_universe(small_design.graph))
+        assert a.missed() == b.missed()
+
+
+class TestSimulatorFaultEdges:
+    def test_fault_bit_out_of_range(self, small_design, rng):
+        from repro.rtl import InjectedFault
+        node = small_design.graph.arithmetic_nodes[0]
+        bad = InjectedFault(node_id=node.nid, bit=99,
+                            sum_lut=np.zeros(8, dtype=np.uint8),
+                            cout_lut=np.zeros(8, dtype=np.uint8))
+        with pytest.raises(SimulationError):
+            simulate(small_design.graph, rng.integers(-10, 10, size=4),
+                     fault=bad)
+
+    def test_fault_on_unrelated_node_is_noop(self, small_design, rng):
+        """A fault spec pointing at a non-existent operator id simply
+        never triggers (the simulator matches by node id)."""
+        from repro.rtl import InjectedFault
+        raw = rng.integers(-100, 100, size=16)
+        good = simulate(small_design.graph, raw).output
+        fault = InjectedFault(node_id=10**6, bit=0,
+                              sum_lut=np.zeros(8, dtype=np.uint8),
+                              cout_lut=np.zeros(8, dtype=np.uint8))
+        bad = simulate(small_design.graph, raw, fault=fault).output
+        assert np.array_equal(good, bad)

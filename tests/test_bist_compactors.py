@@ -1,0 +1,59 @@
+"""Accumulator-based compaction vs the MISR."""
+
+import numpy as np
+import pytest
+
+from repro.bist import AccumulatorCompactor, Misr
+from repro.errors import GeneratorError
+
+
+class TestAccumulatorCompactor:
+    def test_deterministic(self):
+        words = list(range(-40, 40))
+        assert AccumulatorCompactor(16).signature(words) == \
+            AccumulatorCompactor(16).signature(words)
+
+    def test_state_is_modular_sum_without_rotation(self):
+        acc = AccumulatorCompactor(8, rotate=False)
+        words = [5, 7, 250, -3]
+        expect = sum(w & 0xFF for w in words) & 0xFF
+        assert acc.signature(words) == expect
+
+    def test_rotating_carry_differs_from_plain_sum(self):
+        words = [200] * 10  # forces carries out of 8 bits
+        plain = AccumulatorCompactor(8, rotate=False).signature(words)
+        rot = AccumulatorCompactor(8, rotate=True).signature(words)
+        assert plain != rot
+
+    def test_absorb_continues_state(self):
+        a = AccumulatorCompactor(16)
+        whole = a.signature(list(range(64)))
+        a.reset()
+        a.absorb(list(range(32)))
+        assert a.absorb(list(range(32, 64))) == whole
+
+    def test_width_validation(self):
+        with pytest.raises(GeneratorError):
+            AccumulatorCompactor(1)
+
+    def test_order_insensitivity_is_the_known_weakness(self):
+        """Unlike the MISR, a plain accumulator cannot see word order —
+        the structural reason MISRs are preferred for compaction."""
+        a = AccumulatorCompactor(16, rotate=False)
+        m = Misr(16)
+        fwd = [3, 1, 4, 1, 5, 9, 2, 6]
+        rev = list(reversed(fwd))
+        assert a.signature(fwd) == a.signature(rev)
+        assert m.signature(fwd) != m.signature(rev)
+
+    def test_sign_symmetric_error_aliases_accumulator_not_misr(self):
+        """A +e / −e error pair sums to zero for the accumulator but
+        scrambles differently through the MISR's feedback."""
+        good = list(range(32))
+        bad = list(good)
+        bad[5] += 8
+        bad[20] -= 8
+        a = AccumulatorCompactor(16, rotate=False)
+        m = Misr(16)
+        assert a.signature(bad) == a.signature(good)   # aliased!
+        assert m.signature(bad) != m.signature(good)   # caught

@@ -1,0 +1,74 @@
+"""Hardware cost accounting and polynomial search."""
+
+import pytest
+
+from repro.bist import DeterministicGenerator, cost_table, cut_gate_estimate, \
+    scheme_cost
+from repro.bist.deterministic import deterministic_sequence
+from repro.errors import GeneratorError
+from repro.generators import (
+    MixedModeLfsr,
+    PRIMITIVE_POLYS,
+    Type1Lfsr,
+    is_maximal_length,
+    search_primitive_polys,
+)
+
+from helpers import build_small_design
+
+
+class TestSchemeCost:
+    def test_cut_estimate_positive_and_scales(self, small_design, lp_design):
+        assert 0 < cut_gate_estimate(small_design) < cut_gate_estimate(lp_design)
+
+    def test_plain_lfsr_cost(self):
+        c = scheme_cost(Type1Lfsr(12))
+        assert c.dff == 12
+        assert c.rom_words == 0
+        assert c.gate_equivalents == c.gates + 12 * 6
+
+    def test_mixed_mode_premium_is_muxes_only(self):
+        plain = scheme_cost(Type1Lfsr(12))
+        mixed = scheme_cost(MixedModeLfsr(12, 100))
+        assert mixed.dff == plain.dff
+        assert 0 < mixed.gates - plain.gates <= 3 * 12
+
+    def test_rom_scheme_counts_words(self, small_design):
+        nodes = [small_design.graph.arithmetic_nodes[0].nid]
+        seq = deterministic_sequence(small_design, nodes)
+        gen = DeterministicGenerator(seq, width=12)
+        c = scheme_cost(gen)
+        assert c.rom_words == len(seq)
+
+    def test_overhead_percent(self, small_design):
+        c = scheme_cost(Type1Lfsr(12))
+        pct = c.overhead_percent(small_design)
+        assert 0.0 < pct < 100.0
+
+    def test_cost_table_rows(self, small_design):
+        rows = cost_table(small_design, [Type1Lfsr(12), MixedModeLfsr(12, 8)])
+        assert len(rows) == 2
+        assert rows[0][0].startswith("LFSR-1")
+
+
+class TestPolynomialSearch:
+    def test_finds_known_polynomial(self):
+        polys = search_primitive_polys(8, 6)
+        assert len(polys) == 6
+        assert len(set(polys)) == 6
+        assert all(is_maximal_length(p) for p in polys)
+
+    def test_table_entry_is_discoverable(self):
+        # degree 8 has exactly phi(255)/8 = 16 primitive polynomials; the
+        # curated table's entry must be among them
+        polys = search_primitive_polys(8, 16)
+        assert PRIMITIVE_POLYS[8] in polys
+
+    def test_count_validation(self):
+        with pytest.raises(GeneratorError):
+            search_primitive_polys(8, 0)
+
+    def test_impossible_count(self):
+        # degree 2 has exactly one primitive polynomial (x^2+x+1)
+        with pytest.raises(GeneratorError):
+            search_primitive_polys(2, 5)

@@ -1,0 +1,109 @@
+"""Deterministic matched-burst BIST top-off."""
+
+import numpy as np
+import pytest
+
+from repro.bist import (
+    DeterministicGenerator,
+    deterministic_sequence,
+    deterministic_topoff,
+    matched_burst,
+)
+from repro.errors import DesignError
+from repro.faultsim import build_fault_universe
+from repro.generators import Type1Lfsr
+from repro.rtl import simulate
+
+from helpers import build_small_design
+
+
+def _reachable(design, node):
+    """Max normalized value full-scale input can produce at a node."""
+    from repro.rtl.impulse import impulse_responses
+    h = impulse_responses(design.graph)[node.nid].h
+    l1 = float(np.abs(h).sum())
+    return l1 * design.input_fmt.max_value / node.fmt.half_scale
+
+
+class TestMatchedBurst:
+    def test_burst_reaches_the_target_value(self, small_design):
+        """The defining property: the burst drives the operator's value
+        to the requested level, clipped at the input-reachable maximum
+        (L1 scaling can leave a guard bit that no input overcomes)."""
+        node = small_design.graph.arithmetic_nodes[-1]
+        reachable = _reachable(small_design, node)
+        for target in (0.9, 0.5, 0.3):
+            burst = matched_burst(small_design, node.nid, target)
+            values = simulate(small_design.graph, burst,
+                              keep_nodes=[node.nid]).normalized(node.nid)
+            peak = float(np.max(np.abs(values)))
+            assert peak == pytest.approx(min(target, reachable), abs=0.08)
+
+    def test_polarity(self, small_design):
+        node = small_design.graph.arithmetic_nodes[-1]
+        bound = 0.8 * _reachable(small_design, node)
+        pos = matched_burst(small_design, node.nid, 0.9, polarity=1)
+        v_pos = simulate(small_design.graph, pos,
+                         keep_nodes=[node.nid]).normalized(node.nid)
+        neg = matched_burst(small_design, node.nid, 0.9, polarity=-1)
+        v_neg = simulate(small_design.graph, neg,
+                         keep_nodes=[node.nid]).normalized(node.nid)
+        assert np.max(v_pos) > bound
+        assert np.min(v_neg) < -bound
+
+    def test_amplitude_clipped_to_input_range(self, small_design):
+        node = small_design.graph.arithmetic_nodes[0]
+        burst = matched_burst(small_design, node.nid, 0.999)
+        assert small_design.input_fmt.contains(burst)
+
+
+class TestSequenceAndGenerator:
+    def test_sequence_length(self, small_design):
+        nodes = [n.nid for n in small_design.graph.arithmetic_nodes[:2]]
+        seq = deterministic_sequence(small_design, nodes,
+                                     targets=(0.9, 0.5), gap=4)
+        expected = sum(
+            2 * (len(matched_burst(small_design, nid, t)) + 4)
+            for nid in nodes for t in (0.9, 0.5)
+        )
+        assert len(seq) == expected
+
+    def test_empty_targets(self, small_design):
+        assert len(deterministic_sequence(small_design, [])) == 0
+
+    def test_generator_cycles(self, small_design):
+        node = small_design.graph.arithmetic_nodes[0]
+        seq = deterministic_sequence(small_design, [node.nid])
+        gen = DeterministicGenerator(seq, width=12)
+        a = gen.sequence(len(seq))
+        b = gen.generate(len(seq))
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, seq)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(DesignError):
+            DeterministicGenerator(np.zeros(0, dtype=np.int64), width=12)
+
+    def test_rom_cost_reported(self, small_design):
+        node = small_design.graph.arithmetic_nodes[0]
+        seq = deterministic_sequence(small_design, [node.nid])
+        cost = DeterministicGenerator(seq, width=12).hardware_cost()
+        assert cost["rom_words"] == len(seq)
+
+
+class TestTopoff:
+    def test_topoff_never_hurts_and_usually_helps(self, small_design):
+        uni = build_fault_universe(small_design.graph)
+        base, combined, n_det = deterministic_topoff(
+            small_design, uni, Type1Lfsr(12), n_base=128)
+        assert combined.missed() <= base.missed()
+        assert combined.n_vectors == base.n_vectors + n_det
+
+    def test_topoff_closes_upper_bit_misses_on_lowpass(self, ctx):
+        """On the real LP design the matched bursts must close a large
+        share of the pseudorandom residue."""
+        design = ctx.designs["LP"]
+        uni = ctx.universe("LP")
+        base, combined, _ = deterministic_topoff(
+            design, uni, ctx.mixed_generator(), n_base=8192)
+        assert combined.missed() < 0.6 * base.missed()

@@ -1,0 +1,106 @@
+"""Signature-dictionary fault diagnosis and Verilog testbench generation."""
+
+import numpy as np
+import pytest
+
+from repro.bist import SignatureDictionary
+from repro.errors import DesignError, SimulationError
+from repro.faultsim import build_fault_universe, run_fault_coverage
+from repro.gates import elaborate, generate_testbench
+from repro.generators import DecorrelatedLfsr, Type1Lfsr, UniformWhiteGenerator
+from repro.rtl import simulate
+
+from helpers import build_small_design
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    design = build_small_design("plain")
+    uni = build_fault_universe(design.graph)
+    result = run_fault_coverage(design, Type1Lfsr(12), 256, universe=uni)
+    detected = [f for f in uni.faults
+                if result.detect_time[f.index] < 256][:160]
+    sd = SignatureDictionary(
+        design,
+        sessions=[(Type1Lfsr(12), 256), (DecorrelatedLfsr(12), 256)],
+    )
+    sd.build(detected)
+    return design, detected, sd
+
+
+class TestSignatureDictionary:
+    def test_every_built_fault_diagnosable(self, dictionary):
+        design, detected, sd = dictionary
+        assert sd.size > 0.9 * len(detected)
+
+    def test_injected_device_is_diagnosed(self, dictionary):
+        design, detected, sd = dictionary
+        for fault in detected[:20]:
+            result = sd.diagnose_device(fault)
+            labels = {f.label for f in result.candidates}
+            assert fault.label in labels
+
+    def test_two_sessions_shrink_ambiguity(self, dictionary):
+        design, detected, sd = dictionary
+        single = SignatureDictionary(design, sessions=[(Type1Lfsr(12), 256)])
+        single.build(detected)
+        hist2 = sd.ambiguity_histogram()
+        hist1 = single.ambiguity_histogram()
+        unique2 = hist2.get(1, 0)
+        unique1 = hist1.get(1, 0)
+        assert unique2 >= unique1
+
+    def test_most_faults_uniquely_resolved(self, dictionary):
+        design, detected, sd = dictionary
+        hist = sd.ambiguity_histogram()
+        unique = hist.get(1, 0)
+        assert unique / max(1, sum(hist.values())) > 0.6
+
+    def test_unknown_signature_gives_empty_candidates(self, dictionary):
+        design, detected, sd = dictionary
+        result = sd.diagnose((0xDEAD, 0xBEEF))
+        assert result.candidates == [] and not result.resolved
+
+    def test_signature_count_validated(self, dictionary):
+        design, detected, sd = dictionary
+        with pytest.raises(SimulationError):
+            sd.diagnose((1,))
+
+    def test_session_validation(self, dictionary):
+        design, detected, sd = dictionary
+        with pytest.raises(SimulationError):
+            SignatureDictionary(design, sessions=[])
+        with pytest.raises(SimulationError):
+            SignatureDictionary(design, sessions=[(Type1Lfsr(12), 0)])
+
+
+class TestTestbenchGeneration:
+    def test_files_and_structure(self, small_design, rng):
+        nl = elaborate(small_design.graph)
+        raw = rng.integers(-2048, 2048, size=32)
+        golden = simulate(small_design.graph, raw).raw(
+            small_design.graph.output_id)
+        files = generate_testbench(nl, raw, golden)
+        assert set(files) == {"testbench", "stimulus.hex", "golden.hex"}
+        tb = files["testbench"]
+        assert "module tb_filter_bist_cut;" in tb
+        assert '$readmemh("stimulus.hex", stimulus);' in tb
+        assert "$finish" in tb
+
+    def test_hex_images_roundtrip(self, small_design, rng):
+        nl = elaborate(small_design.graph)
+        raw = rng.integers(-2048, 2048, size=16)
+        golden = simulate(small_design.graph, raw).raw(
+            small_design.graph.output_id)
+        files = generate_testbench(nl, raw, golden)
+        in_w = small_design.input_fmt.width
+        parsed = [int(line, 16) for line in
+                  files["stimulus.hex"].strip().splitlines()]
+        recovered = [(v - (1 << in_w)) if v >= (1 << (in_w - 1)) else v
+                     for v in parsed]
+        assert recovered == list(raw)
+
+    def test_length_mismatch_rejected(self, small_design, rng):
+        nl = elaborate(small_design.graph)
+        with pytest.raises(DesignError):
+            generate_testbench(nl, [1, 2, 3], [1, 2])

@@ -1,0 +1,72 @@
+"""CLI smoke and behaviour tests (in-process, fast paths only)."""
+
+import pytest
+
+from repro.cli import GENERATOR_CHOICES, main, make_generator
+from repro.errors import ReproError
+from repro.generators import MixedModeLfsr, Type1Lfsr
+
+
+class TestGeneratorFactory:
+    @pytest.mark.parametrize("kind", GENERATOR_CHOICES)
+    def test_all_choices_construct(self, kind):
+        gen = make_generator(kind, 12, 4096)
+        assert gen.width == 12
+        assert len(gen.sequence(8)) == 8
+
+    def test_mixed_switches_halfway(self):
+        gen = make_generator("mixed", 12, 4096)
+        assert isinstance(gen, MixedModeLfsr)
+        assert gen.switch_after == 2048
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ReproError):
+            make_generator("quantum", 12, 4096)
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "LP:" in out and "registers" in out
+
+    def test_grade(self, capsys):
+        assert main(["grade", "--design", "BP", "--generator", "lfsrd",
+                     "--vectors", "256", "--map"]) == 0
+        out = capsys.readouterr().out
+        assert "detected" in out
+        assert "missed faults" in out  # the --map section
+
+    def test_grade_report(self, capsys):
+        assert main(["grade", "--design", "BP", "--generator", "lfsrd",
+                     "--vectors", "128", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "testability report" in out
+
+    def test_rank(self, capsys):
+        assert main(["rank", "--design", "LP", "--vectors", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "proposed scheme" in out
+
+    def test_spectrum(self, capsys):
+        assert main(["spectrum", "--generator", "ramp"]) == 0
+        out = capsys.readouterr().out
+        assert "power (dB)" in out
+
+    def test_table(self, capsys):
+        assert main(["table", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "T1a" in out
+
+    def test_figure(self, capsys):
+        assert main(["figure", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "test zones" in out
+
+    def test_bad_table_number(self):
+        with pytest.raises(SystemExit):
+            main(["table", "9"])
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,129 @@
+"""Tests for the canonic-signed-digit package."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.csd import (
+    MultiplierPlan,
+    csd_decode,
+    csd_encode,
+    csd_from_string,
+    csd_nonzero_digits,
+    csd_to_string,
+    is_canonical,
+    plan_multiplier,
+    quantize_filter,
+    quantize_to_csd,
+)
+from repro.errors import CsdError
+
+
+class TestEncode:
+    @given(st.integers(-(1 << 20), 1 << 20))
+    def test_roundtrip(self, value):
+        assert csd_decode(csd_encode(value)) == value
+
+    @given(st.integers(-(1 << 20), 1 << 20))
+    def test_canonical_property(self, value):
+        assert is_canonical(csd_encode(value))
+
+    @given(st.integers(1, 1 << 20))
+    def test_no_more_nonzeros_than_binary(self, value):
+        binary_ones = bin(value).count("1")
+        assert csd_nonzero_digits(csd_encode(value)) <= binary_ones
+
+    def test_classic_example(self):
+        # 7 = 8 - 1 : +00- (one less adder than 4+2+1)
+        assert csd_encode(7) == [-1, 0, 0, 1]
+
+    def test_zero(self):
+        assert csd_encode(0) == []
+        assert csd_decode([]) == 0
+
+    def test_string_roundtrip(self):
+        digits = csd_encode(45)
+        assert csd_from_string(csd_to_string(digits)) == digits
+
+    def test_string_rejects_garbage(self):
+        with pytest.raises(CsdError):
+            csd_from_string("+0x")
+
+    def test_decode_rejects_bad_digit(self):
+        with pytest.raises(CsdError):
+            csd_decode([2])
+
+
+class TestQuantize:
+    def test_respects_budget(self):
+        q = quantize_to_csd(0.4999, frac=12, max_nonzeros=2)
+        assert q.nonzeros <= 2
+
+    def test_unconstrained_hits_grid(self):
+        q = quantize_to_csd(0.375, frac=8, max_nonzeros=8)
+        assert q.value == pytest.approx(0.375)
+        assert q.error == pytest.approx(0.0)
+
+    def test_tight_budget_costs_accuracy(self):
+        loose = quantize_to_csd(0.2371, frac=14, max_nonzeros=6)
+        tight = quantize_to_csd(0.2371, frac=14, max_nonzeros=1)
+        assert tight.nonzeros <= 1
+        assert tight.error >= loose.error
+
+    def test_negative_value(self):
+        q = quantize_to_csd(-0.25, frac=8, max_nonzeros=2)
+        assert q.raw < 0
+        assert q.value == pytest.approx(-0.25)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(CsdError):
+            quantize_to_csd(0.5, frac=8, max_nonzeros=0)
+
+    @given(st.floats(-0.99, 0.99), st.integers(1, 4))
+    def test_error_bounded_by_budgeted_grid(self, value, budget):
+        q = quantize_to_csd(value, frac=10, max_nonzeros=budget)
+        # Never worse than rounding to the single nearest power of two
+        # (the budget-1 fallback) plus a grid step.
+        assert q.error <= max(abs(value) / 2, 2**-10) + 2**-10
+
+    def test_quantize_filter_length(self):
+        qs = quantize_filter([0.1, -0.2, 0.3], frac=10, max_nonzeros=3)
+        assert len(qs) == 3
+        assert all(q.nonzeros <= 3 for q in qs)
+
+
+class TestMultiplierPlan:
+    def test_terms_most_significant_first(self):
+        q = quantize_to_csd(0.40625, frac=8, max_nonzeros=4)  # 0.5 - 0.125 + ...
+        plan = plan_multiplier(q)
+        shifts = [t.shift for t in plan.terms]
+        assert shifts == sorted(shifts)
+
+    def test_adder_count(self):
+        q = quantize_to_csd(0.40625, frac=8, max_nonzeros=4)
+        plan = plan_multiplier(q)
+        assert plan.adder_count == len(plan.terms) - 1
+
+    def test_plan_value_matches_coefficient(self):
+        q = quantize_to_csd(0.3331, frac=12, max_nonzeros=4)
+        plan = plan_multiplier(q)
+        value = sum(t.sign * 2.0**-t.shift for t in plan.terms)
+        assert value == pytest.approx(abs(q.value))
+
+    def test_negative_coefficient_sets_negate(self):
+        q = quantize_to_csd(-0.25, frac=8, max_nonzeros=2)
+        plan = plan_multiplier(q)
+        assert plan.negate
+        assert plan.terms[0].sign == 1  # magnitude leads with +
+
+    def test_zero_plan(self):
+        q = quantize_to_csd(0.0, frac=8, max_nonzeros=2)
+        plan = plan_multiplier(q)
+        assert plan.is_zero
+        assert plan.adder_count == 0
+
+    def test_partial_magnitude_bound_monotone(self):
+        q = quantize_to_csd(0.456, frac=12, max_nonzeros=4)
+        plan = plan_multiplier(q)
+        bounds = [plan.partial_magnitude_bound(i)
+                  for i in range(1, len(plan.terms) + 1)]
+        assert bounds == sorted(bounds)

@@ -1,0 +1,96 @@
+"""Tests for fault universe assembly and structural pruning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultModelError
+from repro.faultsim import build_fault_universe
+from repro.gates import variant_for_bit
+from repro.rtl import OpKind
+
+from helpers import build_small_design
+
+
+class TestUniverseStructure:
+    def test_cells_cover_every_operator_bit(self, small_design):
+        uni = build_fault_universe(small_design.graph, prune_untestable=False)
+        expected = sum(n.fmt.width for n in small_design.graph.arithmetic_nodes)
+        assert uni.cell_count == expected
+
+    def test_unpruned_count_matches_variant_sums(self, small_design):
+        uni = build_fault_universe(small_design.graph, prune_untestable=False)
+        expected = 0
+        for node in small_design.graph.arithmetic_nodes:
+            for bit in range(node.fmt.width):
+                v = variant_for_bit(bit, node.fmt.width,
+                                    node.kind is OpKind.SUB)
+                expected += v.fault_count
+        assert uni.fault_count == expected
+        assert uni.untestable_count == 0
+
+    def test_cells_of_one_operator_are_contiguous(self, small_design):
+        uni = build_fault_universe(small_design.graph)
+        for node in small_design.graph.arithmetic_nodes:
+            base = uni.cell_index[(node.nid, 0)]
+            for bit in range(node.fmt.width):
+                assert uni.cell_index[(node.nid, bit)] == base + bit
+
+    def test_fault_arrays_consistent(self, small_design):
+        uni = build_fault_universe(small_design.graph)
+        assert len(uni.fault_cell) == uni.fault_count
+        assert len(uni.fault_mask) == uni.fault_count
+        for f in uni.faults[:50]:
+            assert uni.fault_cell[f.index] == uni.cell_index[(f.node_id, f.bit)]
+            assert uni.fault_mask[f.index] == f.effective_mask
+
+    def test_pruning_only_removes(self, small_design):
+        full = build_fault_universe(small_design.graph, prune_untestable=False)
+        pruned = build_fault_universe(small_design.graph)
+        assert pruned.fault_count + pruned.untestable_count == full.fault_count
+
+    def test_effective_masks_subset_of_detect_masks(self, small_design):
+        uni = build_fault_universe(small_design.graph)
+        for f in uni.faults:
+            assert f.effective_mask != 0
+            assert f.effective_mask & ~f.cell_fault.detect_mask == 0
+
+    def test_faults_at_lookup(self, small_design):
+        uni = build_fault_universe(small_design.graph)
+        node = small_design.graph.arithmetic_nodes[0]
+        fs = uni.faults_at(node.nid, 1)
+        assert fs and all(f.bit == 1 and f.node_id == node.nid for f in fs)
+
+    def test_faults_at_unknown_cell(self, small_design):
+        uni = build_fault_universe(small_design.graph)
+        with pytest.raises(FaultModelError):
+            uni.faults_at(10**6, 0)
+
+
+class TestPrunedFaultsAreUndetectable:
+    def test_no_input_ever_detects_a_pruned_fault(self, rng):
+        """Gate-level ground truth: faults pruned as structurally
+        untestable must never be detected, even by an aggressive mix of
+        random, extreme and two-valued stimuli."""
+        from repro.gates import elaborate, enumerate_cell_faults, \
+            netlist_fault_detected, simulate_netlist
+        design = build_small_design("plain")
+        full = build_fault_universe(design.graph, prune_untestable=False)
+        pruned = build_fault_universe(design.graph)
+        kept = {(f.node_id, f.bit, f.cell_fault.name) for f in pruned.faults}
+        removed = [f for f in full.faults
+                   if (f.node_id, f.bit, f.cell_fault.name) not in kept]
+        if not removed:
+            pytest.skip("no faults pruned on this small design")
+        nl = elaborate(design.graph)
+        by_loc = {(f.node_id, f.bit, f.cell_fault.name): f
+                  for f in enumerate_cell_faults(design.graph, nl)}
+        stimulus = np.concatenate([
+            rng.integers(-2048, 2048, size=512),
+            np.tile([2047, -2048], 64),
+            np.tile([2047, 0, -2048, 0], 32),
+        ])
+        golden = simulate_netlist(nl, stimulus)["output"]
+        for f in removed:
+            ef = by_loc[(f.node_id, f.bit, f.cell_fault.name)]
+            assert not netlist_fault_detected(nl, stimulus, ef.netlist_fault,
+                                              golden=golden), f.label

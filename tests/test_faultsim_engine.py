@@ -1,0 +1,182 @@
+"""The fast coverage engine: internal consistency and gate-level ground
+truth cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.faultsim import (
+    UNSEEN,
+    build_fault_universe,
+    coverage_of_tracker,
+    run_fault_coverage,
+    track_patterns,
+)
+from repro.faultsim.patterns import PatternTracker
+from repro.fixedpoint import cell_pattern_codes
+from repro.generators import (
+    MaxVarianceLfsr,
+    Type1Lfsr,
+    UniformWhiteGenerator,
+    match_width,
+)
+from repro.rtl import OpKind
+
+from helpers import build_small_design
+
+
+class TestPatternTracker:
+    def test_first_seen_matches_brute_force(self, small_design, rng):
+        """Tracker's first-occurrence indices vs direct recomputation."""
+        uni = build_fault_universe(small_design.graph)
+        raw = rng.integers(-2048, 2048, size=300)
+        tracker = track_patterns(small_design.graph, uni, raw)
+
+        from repro.rtl import simulate
+        captured = {}
+        def hook(node, a, b):
+            captured[node.nid] = (a.copy(), b.copy())
+        simulate(small_design.graph, raw, adder_hook=hook)
+
+        for node in small_design.graph.arithmetic_nodes:
+            a, b = captured[node.nid]
+            codes = cell_pattern_codes(
+                a, b, 1 if node.kind is OpKind.SUB else 0,
+                node.fmt.width, invert_b=node.kind is OpKind.SUB)
+            for bit in range(node.fmt.width):
+                row = uni.cell_index[(node.nid, bit)]
+                for p in range(8):
+                    hits = np.nonzero(codes[bit] == p)[0]
+                    expect = hits[0] if len(hits) else UNSEEN
+                    assert tracker.first_seen[row, p] == expect
+
+    def test_incremental_sessions_continue_indices(self, small_design, rng):
+        uni = build_fault_universe(small_design.graph)
+        raw = rng.integers(-2048, 2048, size=200)
+        t_whole = track_patterns(small_design.graph, uni, raw)
+        t_parts = PatternTracker(uni)
+        track_patterns(small_design.graph, uni, raw[:120], tracker=t_parts)
+        track_patterns(small_design.graph, uni, raw[120:], tracker=t_parts)
+        # Segment two replays registers from reset, so indices can only
+        # be found at equal or later positions; first segment must agree.
+        mask_first = t_whole.first_seen < 120
+        assert np.array_equal(t_whole.first_seen[mask_first],
+                              t_parts.first_seen[mask_first])
+
+    def test_wrong_universe_rejected(self, small_design, rng):
+        uni_a = build_fault_universe(small_design.graph)
+        uni_b = build_fault_universe(small_design.graph)
+        tracker = PatternTracker(uni_a)
+        with pytest.raises(SimulationError):
+            track_patterns(small_design.graph, uni_b,
+                           rng.integers(-10, 10, size=4), tracker=tracker)
+
+    def test_untested_patterns_query(self, small_design):
+        uni = build_fault_universe(small_design.graph)
+        tracker = PatternTracker(uni)
+        node = small_design.graph.arithmetic_nodes[0]
+        assert tracker.untested_patterns(node.nid, 1) == list(range(8))
+
+
+class TestCoverageResult:
+    def test_monotone_curve(self, small_design, rng):
+        result = run_fault_coverage(small_design, UniformWhiteGenerator(12),
+                                    512)
+        pts, undetected = result.curve()
+        assert np.all(np.diff(undetected) <= 0)
+        assert undetected[-1] == result.missed()
+
+    def test_detected_plus_missed_is_total(self, small_design):
+        result = run_fault_coverage(small_design, Type1Lfsr(12), 256)
+        total = result.universe.fault_count
+        assert result.detected() + result.missed() == total
+        assert result.coverage() == pytest.approx(result.detected() / total)
+
+    def test_at_parameter_counts_prefix(self, small_design):
+        result = run_fault_coverage(small_design, Type1Lfsr(12), 512)
+        assert result.detected(1) <= result.detected(256) <= result.detected()
+
+    def test_missed_faults_objects(self, small_design):
+        result = run_fault_coverage(small_design, MaxVarianceLfsr(12), 64)
+        missed = result.missed_faults()
+        assert len(missed) == result.missed()
+
+    def test_detect_time_definition(self, small_design):
+        """A fault's detect time is the first vector whose cell pattern is
+        in its (effective) detecting set."""
+        result = run_fault_coverage(small_design, Type1Lfsr(12), 256)
+        uni = result.universe
+        gen = Type1Lfsr(12)
+        raw = gen.sequence(256)
+        tracker = track_patterns(small_design.graph, uni, raw)
+        for f in uni.faults[::17]:
+            row = uni.fault_cell[f.index]
+            times = [tracker.first_seen[row, p] for p in range(8)
+                     if f.effective_mask & (1 << p)]
+            assert result.detect_time[f.index] == min(times)
+
+    def test_zero_vectors_rejected(self, small_design):
+        with pytest.raises(SimulationError):
+            run_fault_coverage(small_design, Type1Lfsr(12), 0)
+
+    def test_curve_agrees_with_missed_at_every_point(self, small_design):
+        """The curve and missed(at=...) share one definition: a fault
+        with detect time t is in after t+1 vectors.  Checking every
+        prefix pins the boundary semantics exactly (no off-by-one)."""
+        result = run_fault_coverage(small_design, Type1Lfsr(12), 200)
+        pts = np.arange(1, 201)
+        _, undetected = result.curve(points=pts)
+        for p, u in zip(pts, undetected):
+            assert u == result.missed(at=int(p)), p
+
+
+class TestGateLevelCrossValidation:
+    """The central correctness claim of the fast engine: cell-level
+    detection (excitation with ideal observability) is consistent with
+    exact gate-level injection."""
+
+    @pytest.fixture(scope="class")
+    def setup(self, rng=None):
+        from repro.gates import elaborate, enumerate_cell_faults, \
+            simulate_netlist, netlist_fault_detected
+        rng = np.random.default_rng(99)
+        design = build_small_design("plain")
+        uni = build_fault_universe(design.graph)
+        raw = rng.integers(-2048, 2048, size=192)
+        result_tracker = track_patterns(design.graph, uni, raw)
+        cov = coverage_of_tracker(result_tracker)
+        nl = elaborate(design.graph)
+        gate_faults = {(f.node_id, f.bit, f.cell_fault.name): f
+                       for f in enumerate_cell_faults(design.graph, nl)}
+        golden = simulate_netlist(nl, raw)["output"]
+        return design, uni, raw, cov, nl, gate_faults, golden
+
+    def test_gate_detection_implies_excitation(self, setup):
+        """Anything the exact simulator detects, the fast engine must
+        count as excited (excitation is necessary for detection)."""
+        from repro.gates import netlist_fault_detected
+        design, uni, raw, cov, nl, gate_faults, golden = setup
+        undetected = {f.index for f in cov.missed_faults()}
+        for f in uni.faults[::7]:
+            gf = gate_faults[(f.node_id, f.bit, f.cell_fault.name)]
+            gate_hit = netlist_fault_detected(nl, raw, gf.netlist_fault,
+                                              golden=golden)
+            if gate_hit:
+                assert f.index not in undetected, f.label
+
+    def test_excitation_mostly_propagates(self, setup):
+        """The ideal-observability assumption: excited faults reach the
+        output in the overwhelming majority of cases on these linear
+        datapaths."""
+        from repro.gates import netlist_fault_detected
+        design, uni, raw, cov, nl, gate_faults, golden = setup
+        sample = uni.faults[::7]
+        excited = [f for f in sample
+                   if cov.detect_time[f.index] != UNSEEN]
+        propagated = 0
+        for f in excited:
+            gf = gate_faults[(f.node_id, f.bit, f.cell_fault.name)]
+            if netlist_fault_detected(nl, raw, gf.netlist_fault,
+                                      golden=golden):
+                propagated += 1
+        assert propagated / len(excited) > 0.93

@@ -1,0 +1,73 @@
+"""Observability audit for the ideal-observability detection model."""
+
+import numpy as np
+import pytest
+
+from repro.faultsim import audit_observability, build_fault_universe, \
+    downstream_gains
+from repro.fixedpoint import Fixed
+from repro.rtl import Graph, OpKind
+from repro.rtl.build import FilterDesign
+from repro.rtl.scaling import ScalingReport
+
+from helpers import build_small_design
+
+
+class TestDownstreamGains:
+    def test_output_gain_is_one(self, small_design):
+        gains = downstream_gains(small_design.graph)
+        assert gains[small_design.graph.output_id] == 1.0
+
+    def test_all_operators_reach_output(self, small_design):
+        gains = downstream_gains(small_design.graph)
+        for node in small_design.graph.arithmetic_nodes:
+            assert gains[node.nid] > 0.0
+
+    def test_no_truncation_downstream_of_operators(self, small_design):
+        """In the digit-folded architecture nothing narrows after an
+        operator, so every operator has unit downstream gain."""
+        gains = downstream_gains(small_design.graph)
+        for node in small_design.graph.arithmetic_nodes:
+            assert gains[node.nid] == 1.0
+
+
+class TestAudit:
+    def test_reference_architecture_has_no_maskable_faults(self, small_design):
+        """The justification of the fast engine's detection model: on
+        these datapaths an excited fault's error always reaches the
+        output at >= 1 LSB."""
+        uni = build_fault_universe(small_design.graph)
+        audit = audit_observability(small_design, uni)
+        assert audit.maskable_count == 0
+        assert np.all(audit.min_output_error_lsb >= 1.0 - 1e-12)
+
+    def test_full_lp_design_also_clean(self, ctx):
+        audit = audit_observability(ctx.designs["LP"], ctx.universe("LP"))
+        assert audit.maskable_count == 0
+
+    def test_truncating_path_is_flagged(self):
+        """A hand-built graph with a narrowing shift after its adder must
+        flag the adder's low-bit faults as maskable."""
+        g = Graph(name="truncating")
+        x = g.add(OpKind.INPUT, fmt=Fixed(8, 7), role="input", name="x")
+        t = g.add(OpKind.SHIFT, (x.nid,), fmt=Fixed(8, 7), shift=1,
+                  role="term", name="x>>1")
+        a = g.add(OpKind.ADD, (x.nid, t.nid), fmt=Fixed(9, 7),
+                  role="accumulator", tap=0, name="acc")
+        # output keeps only the top 5 bits: a 4-bit truncation
+        o = g.add(OpKind.SHIFT, (a.nid,), fmt=Fixed(5, 3), shift=0,
+                  role="output", name="trunc")
+        g.add(OpKind.OUTPUT, (o.nid,), fmt=Fixed(5, 3), role="output",
+              name="y")
+        design = FilterDesign(
+            name="truncating", graph=g, taps=[],
+            scaling=ScalingReport(mode="l1", frac=7, bounds={}, widths={},
+                                  iterations=0),
+            input_fmt=Fixed(8, 7), acc_frac=7,
+        )
+        uni = build_fault_universe(g, prune_untestable=False)
+        audit = audit_observability(design, uni)
+        flagged_bits = {uni.faults[i].bit
+                        for i in np.nonzero(audit.maskable)[0]}
+        assert audit.maskable_count > 0
+        assert flagged_bits <= {0, 1, 2, 3}  # only sub-LSB-weight bits

@@ -1,0 +1,102 @@
+"""Tests for repro.fixedpoint.ops — the ripple-carry primitives the whole
+fault model rests on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FixedPointError
+from repro.fixedpoint import (
+    adder_cell_inputs,
+    arith_shift_right,
+    carry_chain,
+    cell_pattern_codes,
+    wrap,
+    wrap_add,
+    wrap_sub,
+)
+
+WIDTH = 8
+RAW = st.integers(-(1 << (WIDTH - 1)), (1 << (WIDTH - 1)) - 1)
+
+
+class TestWrapArithmetic:
+    @given(RAW, RAW)
+    def test_wrap_add_matches_modular_sum(self, a, b):
+        assert wrap_add(a, b, WIDTH) == wrap(a + b, WIDTH)
+
+    @given(RAW, RAW)
+    def test_wrap_sub_matches_modular_difference(self, a, b):
+        assert wrap_sub(a, b, WIDTH) == wrap(a - b, WIDTH)
+
+    def test_overflow_example(self):
+        assert wrap_add(100, 100, 8) == -56
+
+
+class TestShift:
+    def test_floor_semantics(self):
+        assert arith_shift_right(-3, 1) == -2  # floor(-1.5)
+        assert arith_shift_right(3, 1) == 1
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(FixedPointError):
+            arith_shift_right(1, -1)
+
+
+class TestCarryChain:
+    @given(RAW, RAW)
+    def test_carries_reconstruct_addition(self, a, b):
+        """sum bit k == a_k ^ b_k ^ c_k for the computed carries."""
+        carries = carry_chain(a, b, 0, WIDTH)
+        total = wrap(a + b, WIDTH)
+        for k in range(WIDTH):
+            ak = (a >> k) & 1
+            bk = (b >> k) & 1
+            assert ((total >> k) & 1) == ak ^ bk ^ int(carries[k])
+
+    @given(RAW, RAW)
+    def test_subtract_via_complement(self, a, b):
+        """a - b == a + ~b + 1 cell-by-cell."""
+        carries = carry_chain(a, ~b, 1, WIDTH)
+        total = wrap(a - b, WIDTH)
+        for k in range(WIDTH):
+            ak = (a >> k) & 1
+            bk = ((~b) >> k) & 1
+            assert ((total >> k) & 1) == ak ^ bk ^ int(carries[k])
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        a = rng.integers(-128, 128, size=50)
+        b = rng.integers(-128, 128, size=50)
+        vec = carry_chain(a, b, 0, WIDTH)
+        for i in range(50):
+            scalar = carry_chain(int(a[i]), int(b[i]), 0, WIDTH)
+            assert np.array_equal(vec[:, i], scalar)
+
+
+class TestPatternCodes:
+    @given(RAW, RAW)
+    def test_codes_encode_cell_bits(self, a, b):
+        codes = cell_pattern_codes(a, b, 0, WIDTH)
+        a_bits, b_bits, c_bits = adder_cell_inputs(a, b, 0, WIDTH)
+        for k in range(WIDTH):
+            expected = (int(a_bits[k]) << 2) | (int(b_bits[k]) << 1) | int(c_bits[k])
+            assert int(codes[k]) == expected
+
+    @given(RAW, RAW)
+    def test_subtractor_codes_use_inverted_b(self, a, b):
+        codes = cell_pattern_codes(a, b, 1, WIDTH, invert_b=True)
+        for k in range(WIDTH):
+            b_bit = (codes[k] >> 1) & 1
+            assert int(b_bit) == 1 - ((b >> k) & 1)
+
+    def test_lsb_carry_is_cin(self):
+        codes = cell_pattern_codes(0, 0, 1, 4)
+        assert int(codes[0]) & 1 == 1
+        codes = cell_pattern_codes(0, 0, 0, 4)
+        assert int(codes[0]) & 1 == 0
+
+    def test_shape(self):
+        codes = cell_pattern_codes(np.arange(10), np.arange(10), 0, 6)
+        assert codes.shape == (6, 10)
+        assert codes.dtype == np.uint8

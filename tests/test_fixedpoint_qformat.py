@@ -1,0 +1,126 @@
+"""Tests for repro.fixedpoint.qformat."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FixedPointError
+from repro.fixedpoint import Fixed, bit, sign_bit, wrap
+
+
+class TestWrap:
+    def test_identity_in_range(self):
+        assert wrap(100, 8) == 100
+        assert wrap(-128, 8) == -128
+        assert wrap(127, 8) == 127
+
+    def test_positive_overflow_wraps_negative(self):
+        assert wrap(128, 8) == -128
+        assert wrap(129, 8) == -127
+
+    def test_negative_overflow_wraps_positive(self):
+        assert wrap(-129, 8) == 127
+
+    def test_array_input(self):
+        out = wrap(np.array([127, 128, -129]), 8)
+        assert list(out) == [127, -128, 127]
+
+    def test_invalid_width(self):
+        with pytest.raises(FixedPointError):
+            wrap(0, 0)
+
+    @given(st.integers(-10**9, 10**9), st.integers(2, 24))
+    def test_wrap_is_modular(self, raw, width):
+        span = 1 << width
+        w = wrap(raw, width)
+        assert -(span // 2) <= w < span // 2
+        assert (w - raw) % span == 0
+
+
+class TestBits:
+    def test_sign_bit(self):
+        assert sign_bit(-1, 8) == 1
+        assert sign_bit(5, 8) == 0
+
+    def test_bit_of_negative_numbers_is_sign_extended(self):
+        # -1 in two's complement is all ones at any position.
+        assert bit(-1, 0) == 1
+        assert bit(-1, 17) == 1
+        assert bit(-2, 0) == 0
+
+    @given(st.integers(-(1 << 15), (1 << 15) - 1))
+    def test_bits_reassemble_value(self, raw):
+        width = 17
+        total = -(int(bit(raw, width - 1)) << (width - 1))
+        for k in range(width - 1):
+            total += int(bit(raw, k)) << k
+        assert total == raw
+
+
+class TestFixed:
+    def test_ranges(self):
+        q = Fixed(12, 11)
+        assert q.min_raw == -2048
+        assert q.max_raw == 2047
+        assert q.lsb == pytest.approx(2**-11)
+        assert q.min_value == pytest.approx(-1.0)
+        assert q.max_value == pytest.approx(1.0 - 2**-11)
+        assert q.half_scale == pytest.approx(1.0)
+
+    def test_half_scale_with_headroom(self):
+        q = Fixed(16, 12)
+        assert q.half_scale == pytest.approx(8.0)
+
+    def test_from_float_round(self):
+        q = Fixed(8, 7)
+        assert q.from_float(0.5) == 64
+        assert q.from_float(-0.5) == -64
+
+    def test_from_float_floor_truncates_toward_minus_inf(self):
+        q = Fixed(8, 7)
+        assert q.from_float(0.509, rounding="floor") == 65
+        assert q.from_float(-0.509, rounding="floor") == -66
+
+    def test_from_float_out_of_range(self):
+        q = Fixed(8, 7)
+        with pytest.raises(FixedPointError):
+            q.from_float(1.5)
+
+    def test_from_float_unknown_mode(self):
+        with pytest.raises(FixedPointError):
+            Fixed(8, 7).from_float(0.1, rounding="bogus")
+
+    def test_normalize_covers_unit_interval(self):
+        q = Fixed(10, 4)
+        assert q.normalize(q.min_raw) == pytest.approx(-1.0)
+        assert q.normalize(q.max_raw) == pytest.approx(1.0 - 2**-9)
+
+    def test_rescale_raw_exact_up(self):
+        a = Fixed(8, 4)
+        b = Fixed(12, 8)
+        assert a.rescale_raw(5, b) == 5 * 16
+
+    def test_rescale_raw_truncates_down(self):
+        a = Fixed(12, 8)
+        b = Fixed(8, 4)
+        assert a.rescale_raw(0x7F, b) == 0x7
+        assert a.rescale_raw(-1, b) == -1  # floor, not toward zero
+
+    @given(st.integers(2, 20), st.integers(0, 24))
+    def test_roundtrip_float(self, width, frac):
+        q = Fixed(width, frac)
+        raw = q.max_raw
+        assert q.from_float(q.to_float(raw)) == raw
+
+    def test_invalid_width(self):
+        with pytest.raises(FixedPointError):
+            Fixed(0, 0)
+
+    def test_contains(self):
+        q = Fixed(8, 0)
+        assert q.contains([127, -128])
+        assert not q.contains([128])
+
+    def test_saturate(self):
+        q = Fixed(8, 0)
+        assert list(q.saturate(np.array([200, -200, 5]))) == [127, -128, 5]

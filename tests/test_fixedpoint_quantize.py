@@ -1,0 +1,57 @@
+"""Tests for repro.fixedpoint.quantize."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FixedPointError
+from repro.fixedpoint import (
+    Fixed,
+    dynamic_range_db,
+    quantization_noise_power,
+    quantize_signal,
+)
+
+
+class TestQuantizeSignal:
+    def test_round_mode(self):
+        q = Fixed(8, 7)
+        raw = quantize_signal([0.25, -0.25], q)
+        assert list(raw) == [32, -32]
+
+    def test_error_on_overflow(self):
+        with pytest.raises(FixedPointError):
+            quantize_signal([1.5], Fixed(8, 7))
+
+    def test_saturate_mode(self):
+        raw = quantize_signal([1.5, -1.5], Fixed(8, 7), overflow="saturate")
+        assert list(raw) == [127, -128]
+
+    def test_wrap_mode(self):
+        raw = quantize_signal([1.0], Fixed(8, 7), overflow="wrap")
+        assert list(raw) == [-128]
+
+    def test_unknown_overflow_mode(self):
+        with pytest.raises(FixedPointError):
+            quantize_signal([0.0], Fixed(8, 7), overflow="clamp")
+
+    def test_unknown_rounding_mode(self):
+        with pytest.raises(FixedPointError):
+            quantize_signal([0.0], Fixed(8, 7), rounding="stochastic")
+
+    def test_quantization_error_bounded_by_half_lsb(self):
+        q = Fixed(10, 9)
+        x = np.linspace(-0.99, 0.99, 1001)
+        raw = quantize_signal(x, q)
+        err = np.abs(raw * q.lsb - x)
+        assert np.max(err) <= 0.5 * q.lsb + 1e-12
+
+
+class TestNoiseFigures:
+    def test_noise_power(self):
+        q = Fixed(8, 7)
+        assert quantization_noise_power(q) == pytest.approx(q.lsb**2 / 12)
+
+    def test_dynamic_range_follows_six_db_per_bit(self):
+        d12 = dynamic_range_db(Fixed(12, 11))
+        d16 = dynamic_range_db(Fixed(16, 15))
+        assert d16 - d12 == pytest.approx(4 * 6.0206, abs=0.01)

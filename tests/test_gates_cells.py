@@ -1,0 +1,121 @@
+"""Tests for the gate-level cell fault dictionaries."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FaultModelError
+from repro.gates import VARIANT_KINDS, cell_variant, variant_for_bit
+from repro.gates.cells import _evaluate
+
+
+def good_fa(a, b, c):
+    return a ^ b ^ c, (a & b) | (c & (a ^ b))
+
+
+class TestGoodBehaviour:
+    @pytest.mark.parametrize("kind", VARIANT_KINDS)
+    def test_fault_free_matches_full_adder(self, kind):
+        const_c = {"lsb0": 0, "lsb1": 1}.get(kind)
+        for code in range(8):
+            a, b, c = (code >> 2) & 1, (code >> 1) & 1, code & 1
+            if const_c is not None and c != const_c:
+                continue
+            s, cout = _evaluate(kind, a, b, c)
+            gs, gcout = good_fa(a, b, c)
+            assert s == gs
+            if kind != "msb":
+                assert cout == gcout
+
+
+class TestFaultTables:
+    def test_full_cell_counts(self):
+        v = cell_variant("full")
+        assert v.uncollapsed_count == 32  # 16 lines x 2 polarities
+        assert 20 <= v.fault_count <= 32
+        assert not v.undetectable
+
+    def test_msb_cell_has_no_carry_logic_faults(self):
+        v = cell_variant("msb")
+        assert v.uncollapsed_count == 10  # 5 lines of the two-XOR chain
+        for f in v.faults:
+            # every fault detected through the sum output alone
+            assert f.detect_mask != 0
+
+    def test_constant_carry_variants_restrict_codes(self):
+        v0 = cell_variant("lsb0")
+        assert v0.feasible_mask == 0b01010101  # even codes: c = 0
+        v1 = cell_variant("lsb1")
+        assert v1.feasible_mask == 0b10101010  # odd codes: c = 1
+
+    @pytest.mark.parametrize("kind", VARIANT_KINDS)
+    def test_detect_masks_within_feasible_codes(self, kind):
+        v = cell_variant(kind)
+        for f in v.faults:
+            assert f.detect_mask & ~v.feasible_mask == 0
+
+    @pytest.mark.parametrize("kind", VARIANT_KINDS)
+    def test_luts_match_injected_evaluation(self, kind):
+        """The collapsed LUTs must reproduce the faulty netlist exactly
+        on all feasible codes, for the representative site."""
+        v = cell_variant(kind)
+        const_c = {"lsb0": 0, "lsb1": 1}.get(kind)
+        for f in v.faults:
+            site, sv = f.name.rsplit("/", 1)
+            for code in range(8):
+                a, b, c = (code >> 2) & 1, (code >> 1) & 1, code & 1
+                if const_c is not None and c != const_c:
+                    continue
+                s, cout = _evaluate(kind, a, b, c, fault=(site, int(sv)))
+                assert f.sum_lut[code] == s
+                if kind != "msb":
+                    assert f.cout_lut[code] == cout
+
+    @pytest.mark.parametrize("kind", VARIANT_KINDS)
+    def test_members_behave_identically(self, kind):
+        v = cell_variant(kind)
+        const_c = {"lsb0": 0, "lsb1": 1}.get(kind)
+        for f in v.faults:
+            for member in f.members:
+                site, sv = member.rsplit("/", 1)
+                for code in range(8):
+                    a, b, c = (code >> 2) & 1, (code >> 1) & 1, code & 1
+                    if const_c is not None and c != const_c:
+                        continue
+                    s, cout = _evaluate(kind, a, b, c, fault=(site, int(sv)))
+                    assert s == f.sum_lut[code]
+                    if kind != "msb":
+                        assert cout == f.cout_lut[code]
+
+    def test_detecting_codes_property(self):
+        v = cell_variant("full")
+        f = v.faults[0]
+        assert all(f.detect_mask & (1 << n) for n in f.detecting_codes)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(FaultModelError):
+            cell_variant("half-baked")
+
+
+class TestVariantForBit:
+    def test_assignment(self):
+        assert variant_for_bit(0, 8, False).kind == "lsb0"
+        assert variant_for_bit(0, 8, True).kind == "lsb1"
+        assert variant_for_bit(7, 8, False).kind == "msb"
+        assert variant_for_bit(3, 8, False).kind == "full"
+
+    def test_two_bit_operator(self):
+        assert variant_for_bit(0, 2, False).kind == "lsb0"
+        assert variant_for_bit(1, 2, False).kind == "msb"
+
+    def test_bounds(self):
+        with pytest.raises(FaultModelError):
+            variant_for_bit(8, 8, False)
+        with pytest.raises(FaultModelError):
+            variant_for_bit(0, 1, False)
+
+    @given(st.integers(0, 15), st.integers(2, 16))
+    def test_every_bit_resolves(self, bit, width):
+        if bit >= width:
+            return
+        v = variant_for_bit(bit, width, False)
+        assert v.fault_count > 0

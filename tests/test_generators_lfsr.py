@@ -1,0 +1,122 @@
+"""Tests for LFSR cores and polynomials."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeneratorError
+from repro.generators import (
+    FibonacciLfsr,
+    GaloisLfsr,
+    PAPER_TYPE2_POLY_12,
+    PRIMITIVE_POLYS,
+    default_poly,
+    degree,
+    is_maximal_length,
+    reciprocal,
+)
+
+
+class TestPolynomials:
+    @pytest.mark.parametrize("width", [2, 4, 7, 8, 12, 15, 16])
+    def test_table_entries_are_primitive(self, width):
+        assert is_maximal_length(PRIMITIVE_POLYS[width])
+
+    def test_paper_type2_polynomial_is_maximal(self):
+        assert is_maximal_length(PAPER_TYPE2_POLY_12)
+        assert degree(PAPER_TYPE2_POLY_12) == 12
+
+    def test_reciprocal_involution(self):
+        p = PRIMITIVE_POLYS[12]
+        assert reciprocal(reciprocal(p)) == p
+
+    def test_reciprocal_preserves_primitivity(self):
+        assert is_maximal_length(reciprocal(PRIMITIVE_POLYS[12]))
+
+    def test_non_primitive_detected(self):
+        # x^4 + 1 factors; period far below 15.
+        assert not is_maximal_length(0x11)
+
+    def test_missing_width_raises(self):
+        with pytest.raises(GeneratorError):
+            default_poly(99)
+
+    def test_degree_invalid(self):
+        with pytest.raises(GeneratorError):
+            degree(0)
+
+
+@pytest.mark.parametrize("cls", [FibonacciLfsr, GaloisLfsr])
+class TestLfsrCore:
+    def test_maximal_word_period(self, cls):
+        g = cls(8)
+        period = (1 << 8) - 1
+        first = g.sequence(period)
+        second = g.generate(period)
+        assert np.array_equal(first, second)
+        # no shorter period
+        assert len(np.unique(first)) == period
+
+    def test_words_cover_all_nonzero_states(self, cls):
+        g = cls(6)
+        words = g.sequence((1 << 6) - 1)
+        # every value except one appears exactly once over a period
+        assert len(set(words.tolist())) == 63
+
+    def test_zero_seed_rejected(self, cls):
+        with pytest.raises(GeneratorError):
+            cls(8, seed=0)
+
+    def test_wrong_degree_rejected(self, cls):
+        with pytest.raises(GeneratorError):
+            cls(8, poly=PRIMITIVE_POLYS[12])
+
+    def test_bad_direction_rejected(self, cls):
+        with pytest.raises(GeneratorError):
+            cls(8, direction="sideways")
+
+    def test_generate_is_continuous(self, cls):
+        g = cls(10)
+        whole = g.sequence(200)
+        g.reset()
+        parts = np.concatenate([g.generate(70), g.generate(130)])
+        assert np.array_equal(whole, parts)
+
+    def test_variance_one_third(self, cls):
+        g = cls(12)
+        x = g.sequence(4095) / 2**11
+        assert x.var() == pytest.approx(1.0 / 3.0, rel=0.01)
+        assert abs(x.mean()) < 0.01
+
+
+class TestFibonacciSpecifics:
+    def test_word_is_sliding_window_of_bitstream(self):
+        g = FibonacciLfsr(8, direction="msb_to_lsb")
+        words = g.sequence(50)
+        # MSB-to-LSB shifting: contents move down one place per clock, so
+        # word t's low 7 bits equal word t-1's high 7 bits.
+        for t in range(1, 50):
+            prev = int(words[t - 1]) & 0xFF
+            cur = int(words[t]) & 0xFF
+            assert (cur & 0x7F) == (prev >> 1)
+
+    def test_lsb_to_msb_reverses_window(self):
+        g1 = FibonacciLfsr(8, direction="lsb_to_msb")
+        words = g1.sequence(50)
+        for t in range(1, 50):
+            prev = int(words[t - 1]) & 0xFF
+            cur = int(words[t]) & 0xFF
+            assert (cur >> 1) == (prev & 0x7F)
+
+    def test_figure5_standard_deviation(self):
+        """Paper Figure 5: the 12-bit maximal sequence has sigma 0.577."""
+        g = FibonacciLfsr(12, direction="lsb_to_msb")
+        x = g.sequence(4095) / 2**11
+        assert x.std() == pytest.approx(0.577, abs=0.01)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, (1 << 12) - 1))
+    def test_any_seed_gives_same_period_orbit(self, seed):
+        g = FibonacciLfsr(12, seed=seed)
+        w = g.sequence(10)
+        assert len(w) == 10

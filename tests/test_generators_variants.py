@@ -1,0 +1,224 @@
+"""Tests for the named generator variants and auxiliary sources."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError
+from repro.generators import (
+    BernoulliSignGenerator,
+    DecorrelatedLfsr,
+    MaxVarianceLfsr,
+    MixedModeLfsr,
+    PermutedLfsr,
+    RampGenerator,
+    SineGenerator,
+    SwitchedGenerator,
+    Type1Lfsr,
+    Type2Lfsr,
+    UniformWhiteGenerator,
+    match_width,
+)
+
+
+class TestDecorrelated:
+    def test_decorrelator_rule(self):
+        core = Type1Lfsr(12)
+        dec = DecorrelatedLfsr(12)
+        words = core.sequence(200)
+        out = dec.sequence(200)
+        invert = ((1 << 12) - 1) & ~1
+        for w, o in zip(words, out):
+            w_u = int(w) & 0xFFF
+            o_u = int(o) & 0xFFF
+            if w_u & 1:
+                assert o_u == w_u ^ invert
+            else:
+                assert o_u == w_u
+
+    def test_variance_preserved(self):
+        x = DecorrelatedLfsr(12).sequence(4095) / 2**11
+        assert x.var() == pytest.approx(1.0 / 3.0, rel=0.01)
+
+    def test_no_repeated_vectors_over_period(self):
+        out = DecorrelatedLfsr(10).sequence((1 << 10) - 1)
+        assert len(set(out.tolist())) == len(out)
+
+    def test_flat_spectrum(self):
+        x = DecorrelatedLfsr(12).sequence(4095) / 2**11
+        p = np.abs(np.fft.rfft(x))**2
+        lo = p[1:50].mean()
+        mid = p[900:1100].mean()
+        assert 0.5 < lo / mid < 2.0
+
+
+class TestMaxVariance:
+    def test_only_two_values(self):
+        out = MaxVarianceLfsr(12).sequence(500)
+        assert set(out.tolist()) <= {2047, -2048}
+
+    def test_unit_variance(self):
+        x = MaxVarianceLfsr(12).sequence(4095) / 2**11
+        assert x.var() == pytest.approx(1.0, rel=0.01)
+
+    def test_balanced(self):
+        out = MaxVarianceLfsr(12).sequence(4095)
+        assert abs(np.sum(out > 0) - np.sum(out < 0)) <= 1
+
+
+class TestPermuted:
+    def test_identity_permutation_is_type1(self):
+        p = PermutedLfsr(8, list(range(8)))
+        t = Type1Lfsr(8)
+        assert np.array_equal(p.sequence(100), t.sequence(100))
+
+    def test_permutation_preserves_bit_multiset(self):
+        perm = [7, 6, 5, 4, 3, 2, 1, 0]
+        p = PermutedLfsr(8, perm)
+        t = Type1Lfsr(8)
+        a = p.sequence(100)
+        b = t.sequence(100)
+        for x, y in zip(a, b):
+            assert bin(int(x) & 0xFF).count("1") == bin(int(y) & 0xFF).count("1")
+
+    def test_invalid_permutation_rejected(self):
+        with pytest.raises(GeneratorError):
+            PermutedLfsr(8, [0, 0, 1, 2, 3, 4, 5, 6])
+
+
+class TestRamp:
+    def test_sawtooth_shape(self):
+        out = RampGenerator(8).sequence(512) / 2**7
+        assert out[0] == 0.0
+        assert out.max() == pytest.approx(1.0 - 2**-7)
+        assert out.min() == -1.0
+        # strictly increasing between wraps
+        diffs = np.diff(out)
+        assert np.sum(diffs < 0) == 2  # two wraps in 512 samples of period 256
+
+    def test_step_parameter(self):
+        out = RampGenerator(8, step=3).sequence(10)
+        assert list(np.diff(out))[:2] == [3, 3]
+
+    def test_degenerate_step_rejected(self):
+        with pytest.raises(GeneratorError):
+            RampGenerator(8, step=256)
+
+
+class TestSine:
+    def test_frequency(self):
+        gen = SineGenerator(12, freq=1.0 / 64, amplitude=0.9)
+        x = gen.sequence(640) / 2**11
+        spec = np.abs(np.fft.rfft(x))
+        assert spec.argmax() == 10  # 640/64 cycles
+
+    def test_amplitude_respected(self):
+        x = SineGenerator(12, freq=0.01, amplitude=0.5).sequence(1000) / 2**11
+        assert np.max(np.abs(x)) <= 0.5 + 2**-10
+
+    def test_bad_parameters(self):
+        with pytest.raises(GeneratorError):
+            SineGenerator(12, freq=0.7)
+        with pytest.raises(GeneratorError):
+            SineGenerator(12, freq=0.1, amplitude=0.0)
+
+
+class TestNoise:
+    def test_uniform_range_and_variance(self):
+        x = UniformWhiteGenerator(12, seed=1).sequence(1 << 14) / 2**11
+        assert x.var() == pytest.approx(1.0 / 3.0, rel=0.05)
+        assert x.min() >= -1.0 and x.max() < 1.0
+
+    def test_reproducible_after_reset(self):
+        g = UniformWhiteGenerator(12, seed=5)
+        a = g.sequence(64)
+        b = g.sequence(64)
+        assert np.array_equal(a, b)
+
+    def test_sign_generator_values(self):
+        out = BernoulliSignGenerator(12).sequence(100)
+        assert set(out.tolist()) <= {2047, -2048}
+
+
+class TestMixedMode:
+    def test_switch_point(self):
+        gen = MixedModeLfsr(12, switch_after=50)
+        out = gen.sequence(100)
+        normal = Type1Lfsr(12).sequence(50)
+        assert np.array_equal(out[:50], normal)
+        assert set(out[50:].tolist()) <= {2047, -2048}
+
+    def test_lfsr_state_runs_through_switch(self):
+        """The register keeps clocking: the max-variance phase must not
+        replay the normal phase's bit stream."""
+        gen = MixedModeLfsr(12, switch_after=10)
+        out = gen.sequence(20)
+        ref_bits = Type1Lfsr(12)
+        ref_bits.sequence(10)                 # consume the normal phase
+        stream = ref_bits.bit_stream(10)
+        expect = np.where(stream.astype(bool), 2047, -2048)
+        assert np.array_equal(out[10:], expect)
+
+    def test_chunked_generation_matches_single_call(self):
+        a = MixedModeLfsr(12, switch_after=30)
+        b = MixedModeLfsr(12, switch_after=30)
+        whole = a.sequence(100)
+        b.reset()
+        parts = np.concatenate([b.generate(25), b.generate(50), b.generate(25)])
+        assert np.array_equal(whole, parts)
+
+    def test_negative_switch_rejected(self):
+        with pytest.raises(GeneratorError):
+            MixedModeLfsr(12, switch_after=-1)
+
+
+class TestSwitchedGenerator:
+    def test_phases_in_order(self):
+        g = SwitchedGenerator([(RampGenerator(8), 4),
+                               (MaxVarianceLfsr(8), None)])
+        out = g.sequence(8)
+        assert list(out[:4]) == [0, 1, 2, 3]
+        assert set(out[4:].tolist()) <= {127, -128}
+
+    def test_exhausted_phases_raise(self):
+        g = SwitchedGenerator([(RampGenerator(8), 4)])
+        g.sequence(4)
+        with pytest.raises(GeneratorError):
+            g.generate(1)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(GeneratorError):
+            SwitchedGenerator([(RampGenerator(8), 4), (RampGenerator(9), None)])
+
+    def test_unbounded_middle_phase_rejected(self):
+        with pytest.raises(GeneratorError):
+            SwitchedGenerator([(RampGenerator(8), None), (RampGenerator(8), 4)])
+
+
+class TestMatchWidth:
+    def test_identity(self):
+        raw = np.array([1, -5])
+        assert np.array_equal(match_width(raw, 12, 12), raw)
+
+    def test_widening_preserves_normalized_value(self):
+        raw = np.array([1024])  # 0.5 in 12 bits
+        out = match_width(raw, 12, 16)
+        assert out[0] / 2**15 == 1024 / 2**11
+
+    def test_narrowing_truncates(self):
+        raw = np.array([0x7FFF])
+        out = match_width(raw, 16, 12)
+        assert out[0] == 0x7FF
+
+
+class TestHardwareCost:
+    def test_costs_reported(self):
+        for gen in (Type1Lfsr(12), Type2Lfsr(12), DecorrelatedLfsr(12),
+                    MaxVarianceLfsr(12), RampGenerator(12),
+                    MixedModeLfsr(12, 10)):
+            cost = gen.hardware_cost()
+            assert cost["dff"] >= 0 and cost["gates"] >= 0
+
+    def test_decorrelator_costs_extra_gates(self):
+        base = Type1Lfsr(12).hardware_cost()["gates"]
+        dec = DecorrelatedLfsr(12).hardware_cost()["gates"]
+        assert dec == base + 11

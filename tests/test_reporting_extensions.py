@@ -1,0 +1,66 @@
+"""Report generator, Type-2 polynomial selection, CLI export commands."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    flattest_type2_polynomial,
+    model_power_spectrum,
+    type2_lfsr_model,
+)
+from repro.cli import main
+from repro.experiments import full_report
+from repro.generators import PAPER_TYPE2_POLY_12, is_maximal_length
+
+
+class TestFullReport:
+    def test_tables_only(self, ctx):
+        text = full_report(ctx, include=["Table"])
+        assert "## Table 4" in text
+        assert "## Figure 4" not in text
+        assert "519" in text  # paper comparison embedded
+
+    def test_sections_are_fenced(self, ctx):
+        text = full_report(ctx, include=["Table 2"])
+        assert text.count("```") == 2
+
+
+class TestPolynomialSelection:
+    def test_selected_poly_is_primitive_and_flatter(self):
+        best, best_power = flattest_type2_polynomial(12)
+        assert is_maximal_length(best)
+        # flatter than (or equal to) the paper's example polynomial
+        f, p = model_power_spectrum(type2_lfsr_model(12, PAPER_TYPE2_POLY_12),
+                                    n_points=256)
+        mask = (f > 1e-6) & (f <= 0.02)
+        paper_power = float(np.mean(p[mask]))
+        assert best_power >= paper_power * 0.999
+
+    def test_explicit_candidates(self):
+        best, _ = flattest_type2_polynomial(
+            12, candidates=[PAPER_TYPE2_POLY_12])
+        assert best == PAPER_TYPE2_POLY_12
+
+
+class TestCliExport:
+    def test_export_json(self, tmp_path, capsys):
+        out = tmp_path / "lp.json"
+        assert main(["export", "--design", "LP", "--format", "json",
+                     "--out", str(out)]) == 0
+        assert out.exists() and out.stat().st_size > 1000
+        from repro.rtl import load_design
+        clone = load_design(str(out))
+        assert clone.register_count == 60
+
+    def test_export_verilog(self, tmp_path, capsys):
+        out = tmp_path / "lp.v"
+        assert main(["export", "--design", "LP", "--format", "verilog",
+                     "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "module lp_cut" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_report_command(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "--out", str(out), "--only", "tables"]) == 0
+        assert "## Table 6" in out.read_text()

@@ -1,0 +1,138 @@
+"""Tests for impulse-response extraction, scaling and interval analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DesignError
+from repro.rtl import (
+    impulse_responses,
+    simulate,
+    subfilter_response,
+    value_intervals,
+    width_for_bound,
+)
+from repro.rtl.scaling import redundant_sign_bits
+
+from helpers import SMALL_COEFSETS, build_small_design
+
+
+class TestImpulseResponses:
+    def test_output_response_equals_realized_coefficients(self):
+        design = build_small_design("plain")
+        h = subfilter_response(design.graph, design.graph.output_id)
+        assert h == pytest.approx(design.coefficients)
+
+    def test_matches_simulated_impulse(self, rng):
+        """Linear model == simulation for an impulse small enough to make
+        truncation exact (input scaled so every shift is exact)."""
+        design = build_small_design("plain")
+        responses = impulse_responses(design.graph)
+        raw = np.zeros(16, dtype=np.int64)
+        raw[0] = 1024
+        nid = design.graph.arithmetic_nodes[-1].nid
+        sim = simulate(design.graph, raw, keep_nodes=[nid]).engineering(nid)
+        h = responses[nid].h
+        expect = np.zeros(16)
+        expect[: len(h)] = h * 0.5  # impulse amplitude 0.5
+        lsb = design.graph.node(nid).fmt.lsb
+        assert sim == pytest.approx(expect, abs=len(design.taps) * 4 * lsb)
+
+    def test_l1_and_energy(self):
+        design = build_small_design("plain")
+        resp = impulse_responses(design.graph)[design.graph.output_id]
+        assert resp.l1 == pytest.approx(np.sum(np.abs(design.coefficients)))
+        assert resp.energy == pytest.approx(np.sum(design.coefficients**2))
+
+    def test_truncation_bound_nonnegative_and_finite(self):
+        design = build_small_design("plain")
+        for resp in impulse_responses(design.graph).values():
+            assert 0.0 <= resp.truncation_bound < 0.1
+
+
+class TestWidthForBound:
+    def test_exact_powers(self):
+        # bound 1.0 at frac 15 needs raw 32768 -> 17 bits; just below fits 16.
+        assert width_for_bound(1.0, 15) == 17
+        assert width_for_bound(1.0 - 2**-15, 15) == 16
+
+    def test_zero_bound_gets_minimum(self):
+        assert width_for_bound(0.0, 15) == 2
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(DesignError):
+            width_for_bound(-1.0, 4)
+
+    @given(st.floats(1e-6, 4.0), st.integers(0, 20))
+    def test_width_covers_bound(self, bound, frac):
+        w = width_for_bound(bound, frac)
+        assert (1 << (w - 1)) - 1 >= int(np.ceil(bound * (1 << frac) - 1e-9))
+
+
+class TestScaling:
+    @pytest.mark.parametrize("key", sorted(SMALL_COEFSETS))
+    def test_assigned_widths_cover_worst_case_simulation(self, key, rng):
+        design = build_small_design(key)
+        raw = rng.integers(-2048, 2048, size=1000)
+        raw[::7] = 2047
+        raw[::11] = -2048
+        keep = [n.nid for n in design.graph.nodes if n.fmt is not None]
+        result = simulate(design.graph, raw, keep_nodes=keep)
+        for nid in keep:
+            node = design.graph.node(nid)
+            assert node.fmt.contains(result.raw(nid)), node
+
+    def test_statistical_mode_narrower_than_l1(self):
+        d_l1 = build_small_design("plain", scaling_mode="l1")
+        d_st = build_small_design("plain", scaling_mode="statistical",
+                                  name="small-stat")
+        w_l1 = sum(n.fmt.width for n in d_l1.graph.arithmetic_nodes)
+        w_st = sum(n.fmt.width for n in d_st.graph.arithmetic_nodes)
+        assert w_st <= w_l1
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(DesignError):
+            build_small_design("plain", scaling_mode="wishful")
+
+    def test_forced_accumulator_width_creates_headroom(self):
+        forced = build_small_design("plain", accumulator_width=14,
+                                    acc_frac=10, name="small-forced")
+        headroom = redundant_sign_bits(forced.graph)
+        assert max(headroom.values()) > 0
+
+    def test_forced_width_below_requirement_rejected(self):
+        with pytest.raises(DesignError):
+            build_small_design("plain", accumulator_width=3, acc_frac=10)
+
+    def test_l1_design_has_no_redundant_sign_bits(self):
+        design = build_small_design("plain")
+        headroom = redundant_sign_bits(design.graph)
+        assert max(headroom.values()) == 0
+
+
+class TestValueIntervals:
+    @pytest.mark.parametrize("key", sorted(SMALL_COEFSETS))
+    def test_intervals_contain_simulated_values(self, key, rng):
+        design = build_small_design(key)
+        intervals = value_intervals(design.graph)
+        raw = rng.integers(-2048, 2048, size=2000)
+        raw[:4] = [2047, -2048, 2047, -2048]
+        keep = [n.nid for n in design.graph.nodes]
+        result = simulate(design.graph, raw, keep_nodes=keep)
+        for nid in keep:
+            lo, hi = intervals[nid]
+            values = result.raw(nid)
+            assert values.min() >= lo and values.max() <= hi
+
+    def test_truncating_shift_interval_is_asymmetric(self):
+        """x>>15-style terms reach -1 but not +1 (floor truncation)."""
+        design = build_small_design("plain", coef_frac=12, acc_frac=12)
+        intervals = value_intervals(design.graph)
+        from repro.rtl import OpKind
+        deep_shifts = [
+            n for n in design.graph.nodes
+            if n.kind is OpKind.SHIFT and n.shift >= 12
+        ]
+        for n in deep_shifts:
+            lo, hi = intervals[n.nid]
+            assert -lo > hi  # negative side strictly larger

@@ -1,0 +1,157 @@
+"""End-to-end correctness of the FIR builder and the vectorized simulator:
+the fixed-point datapath must compute the quantized convolution up to
+bounded truncation error, for varied coefficient sets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DesignError, SimulationError
+from repro.fixedpoint import Fixed
+from repro.rtl import OpKind, design_from_coefficients, simulate
+
+from helpers import SMALL_COEFSETS, build_small_design
+
+
+def _reference_output(design, raw_x):
+    xf = np.asarray(raw_x) / float(1 << (design.input_fmt.width - 1))
+    return np.convolve(xf, design.coefficients)[: len(raw_x)]
+
+
+def _truncation_budget(design):
+    # One LSB per narrowing shift per tap term is a safe static bound.
+    n_terms = sum(len(t.plan.terms) for t in design.taps)
+    return (n_terms + 2) * design.output_fmt.lsb
+
+
+class TestDatapathCorrectness:
+    @pytest.mark.parametrize("key", sorted(SMALL_COEFSETS))
+    def test_matches_float_convolution(self, key, rng):
+        design = build_small_design(key)
+        raw = rng.integers(-2048, 2048, size=400)
+        out = simulate(design.graph, raw).engineering(design.graph.output_id)
+        ref = _reference_output(design, raw)
+        assert np.max(np.abs(out - ref)) <= _truncation_budget(design)
+
+    def test_truncation_error_is_one_sided_for_adder_only_design(self, rng):
+        """With positive single-digit coefficients every operator is an
+        adder, so floor-style truncation only ever reduces the value."""
+        design = design_from_coefficients([0.25, 0.125, 0.5], name="add-only",
+                                          coef_frac=8, acc_frac=10,
+                                          max_nonzeros=1, scale=False)
+        assert all(n.kind is OpKind.ADD
+                   for n in design.graph.arithmetic_nodes)
+        raw = rng.integers(-2048, 2048, size=400)
+        out = simulate(design.graph, raw).engineering(design.graph.output_id)
+        ref = _reference_output(design, raw)
+        assert np.max(out - ref) <= 1e-12
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(-0.8, 0.8), min_size=2, max_size=8))
+    def test_random_coefficient_sets(self, coefs):
+        if all(abs(c) < 1e-3 for c in coefs):
+            return  # all-zero quantization is rejected by design
+        try:
+            design = design_from_coefficients(coefs, coef_frac=8, acc_frac=10,
+                                              max_nonzeros=3)
+        except DesignError:
+            return
+        rng = np.random.default_rng(0)
+        raw = rng.integers(-2048, 2048, size=128)
+        out = simulate(design.graph, raw).engineering(design.graph.output_id)
+        ref = _reference_output(design, raw)
+        assert np.max(np.abs(out - ref)) <= _truncation_budget(design)
+
+
+class TestStructure:
+    def test_register_count_is_taps_minus_one(self):
+        design = build_small_design("plain")
+        assert design.register_count == len(SMALL_COEFSETS["plain"]) - 1
+
+    def test_operator_count_tracks_nonzero_digits(self):
+        design = build_small_design("plain")
+        nonzeros = sum(t.coefficient.nonzeros for t in design.taps)
+        # The far tap's leading positive digit needs no operator; a
+        # leading negative digit would add a subtract-from-zero instead.
+        assert design.adder_count in (nonzeros - 1, nonzeros)
+
+    def test_leading_negative_uses_const_zero(self):
+        design = build_small_design("leading_negative")
+        kinds = [n.kind for n in design.graph.nodes]
+        assert OpKind.CONST in kinds
+
+    def test_zero_tap_has_no_accumulator(self):
+        design = build_small_design("with_zero")
+        zero_taps = [t for t in design.taps if t.coefficient.raw == 0]
+        assert zero_taps and all(t.accumulator is None for t in zero_taps)
+
+    def test_tap_accumulator_resolves_through_zero_taps(self):
+        design = build_small_design("with_zero")
+        for k in range(len(design.taps)):
+            nid = design.tap_accumulator(k)
+            assert 0 <= nid < len(design.graph.nodes)
+
+    def test_scaling_guarantees_no_overflow(self, rng):
+        """Extreme inputs never exceed any node's range (L1 scaling)."""
+        design = build_small_design("plain")
+        # worst-case-ish input: alternating full-scale
+        raw = np.tile([2047, -2048], 300)
+        keep = [n.nid for n in design.graph.arithmetic_nodes]
+        result = simulate(design.graph, raw, keep_nodes=keep)
+        for nid in keep:
+            fmt = design.graph.node(nid).fmt
+            values = result.raw(nid)
+            assert fmt.contains(values)
+
+    def test_too_few_taps_rejected(self):
+        with pytest.raises(DesignError):
+            design_from_coefficients([0.5], coef_frac=8, acc_frac=10)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(DesignError):
+            design_from_coefficients([0.0, 0.0], coef_frac=8, acc_frac=10,
+                                     scale=False)
+
+    def test_frequency_response_at_dc(self):
+        design = build_small_design("plain")
+        h = design.frequency_response(64)
+        assert h[0] == pytest.approx(np.sum(design.coefficients))
+
+
+class TestSimulatorInterface:
+    def test_out_of_range_input_rejected(self, small_design):
+        with pytest.raises(SimulationError):
+            simulate(small_design.graph, [99999])
+
+    def test_non_1d_input_rejected(self, small_design):
+        with pytest.raises(SimulationError):
+            simulate(small_design.graph, np.zeros((2, 2), dtype=np.int64))
+
+    def test_unretained_node_raises(self, small_design, rng):
+        raw = rng.integers(-100, 100, size=16)
+        result = simulate(small_design.graph, raw)
+        with pytest.raises(SimulationError):
+            result.raw(1)
+
+    def test_output_always_retained(self, small_design, rng):
+        raw = rng.integers(-100, 100, size=16)
+        result = simulate(small_design.graph, raw)
+        assert len(result.output) == 16
+
+    def test_delay_is_one_sample(self):
+        design = build_small_design("single_digit")  # h = [0.5, -0.25]
+        raw = np.zeros(8, dtype=np.int64)
+        raw[0] = 1024  # 0.5 in Q(12,11)
+        out = simulate(design.graph, raw).engineering(design.graph.output_id)
+        expect = np.zeros(8)
+        expect[0] = 0.5 * design.coefficients[0]
+        expect[1] = 0.5 * design.coefficients[1]
+        assert out == pytest.approx(expect, abs=design.output_fmt.lsb * 4)
+
+    def test_adder_hook_sees_every_operator(self, small_design, rng):
+        seen = []
+        raw = rng.integers(-100, 100, size=16)
+        simulate(small_design.graph, raw,
+                 adder_hook=lambda node, a, b: seen.append(node.nid))
+        expected = [n.nid for n in small_design.graph.arithmetic_nodes]
+        assert sorted(seen) == sorted(expected)

@@ -1,0 +1,64 @@
+"""Direct-form FIR builder: equivalence with the transposed form."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DesignError
+from repro.rtl import design_from_coefficients, simulate
+
+from helpers import SMALL_COEFSETS
+
+
+def _build(form, key="plain"):
+    return design_from_coefficients(SMALL_COEFSETS[key], name=f"{form}-{key}",
+                                    coef_frac=8, acc_frac=10, form=form)
+
+
+class TestDirectForm:
+    @pytest.mark.parametrize("key", sorted(SMALL_COEFSETS))
+    def test_matches_convolution(self, key, rng):
+        design = _build("direct", key)
+        raw = rng.integers(-2048, 2048, size=300)
+        out = simulate(design.graph, raw).engineering(design.graph.output_id)
+        ref = np.convolve(raw / 2**11, design.coefficients)[:300]
+        n_terms = sum(len(t.plan.terms) for t in design.taps)
+        assert np.max(np.abs(out - ref)) <= (n_terms + 2) * design.output_fmt.lsb
+
+    def test_same_coefficients_as_transposed(self):
+        d = _build("direct")
+        t = _build("transposed")
+        assert np.array_equal(d.coefficients, t.coefficients)
+
+    def test_registers_carry_the_input_format(self):
+        design = _build("direct")
+        from repro.rtl import OpKind
+        regs = [n for n in design.graph.nodes if n.kind is OpKind.DELAY]
+        assert len(regs) == len(SMALL_COEFSETS["plain"]) - 1
+        assert all(r.fmt == design.input_fmt for r in regs)
+
+    def test_register_width_profiles_differ(self):
+        """Direct-form registers are all input-width; transposed-form
+        registers track the (L1-scaled) accumulation chain, narrow at
+        the far end and output-width at the near end."""
+        from repro.rtl import OpKind
+
+        def widths(design):
+            return [n.fmt.width for n in design.graph.nodes
+                    if n.kind is OpKind.DELAY]
+
+        direct = widths(_build("direct"))
+        transposed = widths(_build("transposed"))
+        assert len(set(direct)) == 1                  # uniform (input width)
+        assert len(set(transposed)) > 1               # grows along the chain
+        assert transposed == sorted(transposed)       # monotone toward output
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(DesignError):
+            design_from_coefficients([0.5, 0.2], form="lattice")
+
+    def test_fault_coverage_runs_on_direct_form(self):
+        from repro.faultsim import run_fault_coverage
+        from repro.generators import DecorrelatedLfsr
+        design = _build("direct")
+        result = run_fault_coverage(design, DecorrelatedLfsr(12), 1024)
+        assert result.coverage() > 0.8

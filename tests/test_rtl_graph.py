@@ -1,0 +1,112 @@
+"""Tests for repro.rtl.graph and nodes."""
+
+import pytest
+
+from repro.errors import DesignError
+from repro.fixedpoint import Fixed
+from repro.rtl import Graph, OpKind
+
+
+def tiny_graph():
+    g = Graph(name="tiny")
+    x = g.add(OpKind.INPUT, fmt=Fixed(4, 3), role="input")
+    s = g.add(OpKind.SHIFT, (x.nid,), fmt=Fixed(4, 3), shift=1)
+    a = g.add(OpKind.ADD, (x.nid, s.nid), fmt=Fixed(5, 3))
+    g.add(OpKind.OUTPUT, (a.nid,), fmt=Fixed(5, 3))
+    return g
+
+
+class TestConstruction:
+    def test_arity_enforced(self):
+        g = Graph()
+        with pytest.raises(DesignError):
+            g.add(OpKind.ADD, ())
+
+    def test_source_must_exist(self):
+        g = Graph()
+        with pytest.raises(DesignError):
+            g.add(OpKind.DELAY, (3,))
+
+    def test_single_input_enforced(self):
+        g = Graph()
+        g.add(OpKind.INPUT, fmt=Fixed(4, 3))
+        with pytest.raises(DesignError):
+            g.add(OpKind.INPUT, fmt=Fixed(4, 3))
+
+    def test_ids_are_indices(self):
+        g = tiny_graph()
+        for i, node in enumerate(g.nodes):
+            assert node.nid == i
+
+
+class TestQueries:
+    def test_arithmetic_nodes(self):
+        g = tiny_graph()
+        assert [n.kind for n in g.arithmetic_nodes] == [OpKind.ADD]
+
+    def test_register_count(self):
+        g = tiny_graph()
+        assert g.register_count == 0
+
+    def test_consumers(self):
+        g = tiny_graph()
+        consumers = g.consumers()
+        assert consumers[0] == [1, 2]  # input feeds shift and add
+
+    def test_topological_order_is_valid(self):
+        g = tiny_graph()
+        order = g.topological_order()
+        pos = {nid: i for i, nid in enumerate(order)}
+        for node in g.nodes:
+            for s in node.srcs:
+                assert pos[s] < pos[node.nid]
+
+    def test_stats(self):
+        g = tiny_graph()
+        stats = g.stats()
+        assert stats["arithmetic"] == 1
+        assert stats["shift"] == 1
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        tiny_graph().validate()
+
+    def test_missing_format_rejected(self):
+        g = Graph()
+        x = g.add(OpKind.INPUT, fmt=Fixed(4, 3))
+        a = g.add(OpKind.ADD, (x.nid, x.nid))  # fmt None
+        g.add(OpKind.OUTPUT, (a.nid,), fmt=Fixed(5, 3))
+        with pytest.raises(DesignError):
+            g.validate()
+
+    def test_mismatched_binary_points_rejected(self):
+        g = Graph()
+        x = g.add(OpKind.INPUT, fmt=Fixed(4, 3))
+        s = g.add(OpKind.SHIFT, (x.nid,), fmt=Fixed(4, 2), shift=0)
+        a = g.add(OpKind.ADD, (x.nid, s.nid), fmt=Fixed(5, 3))
+        g.add(OpKind.OUTPUT, (a.nid,), fmt=Fixed(5, 3))
+        with pytest.raises(DesignError):
+            g.validate()
+
+    def test_register_format_must_match_source(self):
+        g = Graph()
+        x = g.add(OpKind.INPUT, fmt=Fixed(4, 3))
+        g.add(OpKind.DELAY, (x.nid,), fmt=Fixed(5, 3))
+        with pytest.raises(DesignError):
+            g.validate()
+
+    def test_missing_output_rejected(self):
+        g = Graph()
+        g.add(OpKind.INPUT, fmt=Fixed(4, 3))
+        with pytest.raises(DesignError):
+            g.validate()
+
+    def test_one_bit_adder_rejected(self):
+        g = Graph()
+        x = g.add(OpKind.INPUT, fmt=Fixed(4, 3))
+        s = g.add(OpKind.SHIFT, (x.nid,), fmt=Fixed(2, 3), shift=3)
+        a = g.add(OpKind.ADD, (s.nid, s.nid), fmt=Fixed(1, 3))
+        g.add(OpKind.OUTPUT, (a.nid,), fmt=Fixed(1, 3))
+        with pytest.raises(DesignError):
+            g.validate()

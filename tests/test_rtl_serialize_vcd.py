@@ -1,0 +1,136 @@
+"""Design serialization round-trip and VCD export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import DesignError, SimulationError
+from repro.rtl import (
+    design_from_dict,
+    design_to_dict,
+    load_design,
+    save_design,
+    sim_to_vcd,
+    save_vcd,
+    simulate,
+)
+from repro.faultsim import build_fault_universe, run_fault_coverage
+from repro.generators import Type1Lfsr
+
+from helpers import build_small_design
+
+
+class TestSerializationRoundTrip:
+    def test_graph_identical(self, small_design, rng):
+        clone = design_from_dict(design_to_dict(small_design))
+        assert len(clone.graph) == len(small_design.graph)
+        for a, b in zip(small_design.graph.nodes, clone.graph.nodes):
+            assert (a.kind, a.srcs, a.fmt, a.shift, a.role, a.tap) == \
+                   (b.kind, b.srcs, b.fmt, b.shift, b.role, b.tap)
+
+    def test_simulation_identical(self, small_design, rng):
+        clone = design_from_dict(design_to_dict(small_design))
+        raw = rng.integers(-2048, 2048, size=200)
+        a = simulate(small_design.graph, raw).raw(small_design.graph.output_id)
+        b = simulate(clone.graph, raw).raw(clone.graph.output_id)
+        assert np.array_equal(a, b)
+
+    def test_coefficients_and_taps_survive(self, small_design):
+        clone = design_from_dict(design_to_dict(small_design))
+        assert np.array_equal(clone.coefficients, small_design.coefficients)
+        assert [t.accumulator for t in clone.taps] == \
+               [t.accumulator for t in small_design.taps]
+
+    def test_fault_universe_identical(self, small_design):
+        """Feasibility pruning (which uses scaling bounds) must behave
+        identically on a loaded design."""
+        original = build_fault_universe(small_design.graph)
+        clone = design_from_dict(design_to_dict(small_design))
+        reloaded = build_fault_universe(clone.graph)
+        assert reloaded.fault_count == original.fault_count
+        assert reloaded.untestable_count == original.untestable_count
+
+    def test_file_round_trip(self, small_design, tmp_path, rng):
+        path = tmp_path / "design.json"
+        save_design(small_design, str(path))
+        clone = load_design(str(path))
+        raw = rng.integers(-100, 100, size=32)
+        a = simulate(small_design.graph, raw).output
+        b = simulate(clone.graph, raw).output
+        assert np.array_equal(a, b)
+
+    def test_coverage_on_loaded_design(self, small_design, tmp_path):
+        path = tmp_path / "design.json"
+        save_design(small_design, str(path))
+        clone = load_design(str(path))
+        a = run_fault_coverage(small_design, Type1Lfsr(12), 256).missed()
+        b = run_fault_coverage(clone, Type1Lfsr(12), 256).missed()
+        assert a == b
+
+    def test_schema_version_checked(self, small_design):
+        data = design_to_dict(small_design)
+        data["schema"] = 999
+        with pytest.raises(DesignError):
+            design_from_dict(data)
+
+    def test_bad_node_kind_rejected(self, small_design):
+        data = design_to_dict(small_design)
+        data["nodes"][2]["kind"] = "femtosecond-laser"
+        with pytest.raises(DesignError):
+            design_from_dict(data)
+
+    def test_json_serializable(self, small_design):
+        json.dumps(design_to_dict(small_design))  # must not raise
+
+
+class TestVcdExport:
+    def test_header_and_changes(self, small_design, rng):
+        raw = rng.integers(-100, 100, size=16)
+        nid = small_design.graph.output_id
+        result = simulate(small_design.graph, raw, keep_nodes=[nid])
+        text = sim_to_vcd(result, node_ids=[nid])
+        assert "$enddefinitions" in text
+        assert "$dumpvars" in text
+        assert text.count("$var wire") == 1
+        assert f"#{len(raw)}" in text
+
+    def test_values_decoded_back(self, small_design):
+        """Parse our own VCD and recover the output waveform."""
+        raw = np.array([0, 100, 100, -100, 50], dtype=np.int64)
+        nid = small_design.graph.output_id
+        result = simulate(small_design.graph, raw, keep_nodes=[nid])
+        width = small_design.graph.node(nid).fmt.width
+        text = sim_to_vcd(result, node_ids=[nid])
+
+        values = {}
+        t = 0
+        for line in text.splitlines():
+            if line.startswith("#"):
+                t = int(line[1:])
+            elif line.startswith("b"):
+                bits, _ = line[1:].split(" ")
+                v = int(bits, 2)
+                if v >= 1 << (width - 1):
+                    v -= 1 << width
+                values[t] = v
+        expected = result.raw(nid)
+        recovered = []
+        current = values[0]
+        for t in range(len(raw)):
+            current = values.get(t, current)
+            recovered.append(current)
+        assert recovered == list(expected)
+
+    def test_unretained_node_rejected(self, small_design, rng):
+        raw = rng.integers(-10, 10, size=4)
+        result = simulate(small_design.graph, raw)
+        with pytest.raises(SimulationError):
+            sim_to_vcd(result, node_ids=[1])
+
+    def test_save(self, small_design, tmp_path, rng):
+        raw = rng.integers(-10, 10, size=4)
+        result = simulate(small_design.graph, raw)
+        path = tmp_path / "wave.vcd"
+        save_vcd(result, str(path))
+        assert path.read_text().startswith("$date")
