@@ -27,6 +27,7 @@ Package map
 ``repro.filters``     the three Table 1 reference designs
 ``repro.bist``        MISR compaction, sessions, generator selection
 ``repro.experiments`` drivers for every table and figure
+``repro.telemetry``   spans, metrics, sinks, test-zone tracing
 """
 
 from . import (
@@ -41,6 +42,7 @@ from . import (
     gates,
     generators,
     rtl,
+    telemetry,
 )
 
 __version__ = "1.0.0"
@@ -57,5 +59,6 @@ __all__ = [
     "gates",
     "generators",
     "rtl",
+    "telemetry",
     "__version__",
 ]

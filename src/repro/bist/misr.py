@@ -16,8 +16,25 @@ import numpy as np
 
 from ..errors import GeneratorError
 from ..generators.polynomials import default_poly, degree
+from ..telemetry import get_telemetry
 
-__all__ = ["Misr", "AccumulatorCompactor", "ideal_signature"]
+__all__ = ["Misr", "AccumulatorCompactor", "ideal_signature",
+           "note_aliasing_event"]
+
+
+def note_aliasing_event(compactor: str = "misr", n: int = 1) -> None:
+    """Count a compaction aliasing event on the active telemetry.
+
+    An aliasing event is a session whose faulty response differs from
+    the fault-free one yet compacts to the golden signature — the escape
+    mechanism the paper's "alias-free response analyzer" assumption
+    rules out.  Callers that compare signatures against a known response
+    difference (e.g. :meth:`repro.bist.session.BistSession.screen_fault`
+    or the aliasing benches) report them here.
+    """
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.counter(f"bist.{compactor}.aliasing_events").add(n)
 
 
 class Misr:
@@ -61,7 +78,11 @@ class Misr:
         mask = (1 << self.width) - 1
         low = self.poly & mask
         state = self._state
-        for w in np.asarray(list(words), dtype=np.int64):
+        arr = np.asarray(list(words), dtype=np.int64)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.counter("bist.misr.words_absorbed").add(int(arr.size))
+        for w in arr:
             msb = (state >> (self.width - 1)) & 1
             state = ((state << 1) & mask) ^ (low if msb else 0)
             state ^= self._fold(int(w) & mask)  # & maps negatives two's-complement

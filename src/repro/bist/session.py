@@ -20,7 +20,8 @@ from ..faultsim.inject import to_injected_fault
 from ..generators.base import TestGenerator, match_width
 from ..rtl.build import FilterDesign
 from ..rtl.simulate import simulate
-from .misr import Misr
+from ..telemetry import get_telemetry
+from .misr import Misr, note_aliasing_event
 
 __all__ = ["BistOutcome", "BistSession"]
 
@@ -51,6 +52,8 @@ class BistSession:
     misr_width: Optional[int] = None
     _misr: Misr = field(init=False, repr=False)
     _golden: Optional[int] = field(default=None, init=False, repr=False)
+    _golden_response: Optional[np.ndarray] = field(default=None, init=False,
+                                                   repr=False)
     _universe: Optional[FaultUniverse] = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -72,8 +75,8 @@ class BistSession:
         """Fault-free signature (cached)."""
         if self._golden is None:
             response = simulate(self.design.graph, self.stimulus())
-            raw_out = response.raw(self.design.graph.output_id)
-            self._golden = self._misr.signature(raw_out)
+            self._golden_response = response.raw(self.design.graph.output_id)
+            self._golden = self._misr.signature(self._golden_response)
         return self._golden
 
     def screen_fault(self, fault: DesignFault) -> BistOutcome:
@@ -81,13 +84,22 @@ class BistSession:
 
         Bit-true: the faulty cell is injected into the datapath and the
         MISR signature compared against gold — including any aliasing a
-        real MISR could introduce.
+        real MISR could introduce.  Sessions that alias (response
+        differs, signature matches) are counted on the
+        ``bist.misr.aliasing_events`` telemetry counter.
         """
-        response = simulate(self.design.graph, self.stimulus(),
-                            fault=to_injected_fault(fault))
-        raw_out = response.raw(self.design.graph.output_id)
-        sig = self._misr.signature(raw_out)
-        return BistOutcome(signature=sig, golden_signature=self.golden_signature())
+        tel = get_telemetry()
+        with tel.span("bist.screen_fault", fault=fault.label):
+            response = simulate(self.design.graph, self.stimulus(),
+                                fault=to_injected_fault(fault))
+            raw_out = response.raw(self.design.graph.output_id)
+            sig = self._misr.signature(raw_out)
+            golden_sig = self.golden_signature()
+        if tel.enabled:
+            tel.counter("bist.faults_screened").add(1)
+            if sig == golden_sig and np.any(raw_out != self._golden_response):
+                note_aliasing_event("misr")
+        return BistOutcome(signature=sig, golden_signature=golden_sig)
 
     # ------------------------------------------------------------------
     # Universe-level grading

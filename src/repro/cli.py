@@ -8,11 +8,17 @@ Commands
 ``spectrum``  Print a generator's power spectrum.
 ``table N``   Regenerate paper Table N.
 ``figure N``  Regenerate paper Figure N.
+``profile``   Profile a BIST session: span tree, rates, test-zone hits.
+
+Global flags: ``--version``, ``-v/--verbose`` (repeatable),
+``--profile`` (log a telemetry summary for any command) and
+``--trace-out PATH`` (stream telemetry events as JSON Lines).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -38,8 +44,18 @@ from .generators import (
     Type2Lfsr,
     UniformWhiteGenerator,
 )
+from .telemetry import (
+    JsonlSink,
+    LoggingSummarySink,
+    Telemetry,
+    ZoneTracer,
+    format_span_tree,
+    set_telemetry,
+)
 
 __all__ = ["main"]
+
+logger = logging.getLogger("repro.cli")
 
 _TABLES = {1: table1, 2: table2, 3: table3, 4: table4, 5: table5, 6: table6}
 _FIGURES = {1: figure1, 2: figure2, 3: figure3, 4: figure4, 5: figure5,
@@ -48,6 +64,18 @@ _FIGURES = {1: figure1, 2: figure2, 3: figure3, 4: figure4, 5: figure5,
 
 GENERATOR_CHOICES = ("lfsr1", "lfsr2", "lfsrd", "lfsrm", "ramp", "mixed",
                      "white")
+
+
+def package_version() -> str:
+    """The installed package version (falls back to ``repro.__version__``)."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # not installed; running from a source tree
+        from . import __version__
+
+        return __version__
 
 
 def make_generator(kind: str, width: int, vectors: int):
@@ -75,6 +103,15 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Frequency-domain compatible BIST for digital filters "
                     "(Goodby & Orailoglu, DAC 1997 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {package_version()}")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="-v for INFO logging, -vv for DEBUG")
+    parser.add_argument("--profile", action="store_true",
+                        help="collect telemetry and log a span/metric "
+                             "summary after the command")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="stream telemetry events to PATH as JSON Lines")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("stats", help="design statistics (Table 1)")
@@ -117,11 +154,60 @@ def _build_parser() -> argparse.ArgumentParser:
     export.add_argument("--format", choices=("json", "verilog"),
                         default="json")
     export.add_argument("--out", required=True)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile a BIST session: span tree, vectors/sec, zone hits")
+    profile.add_argument("design", choices=("LP", "BP", "HP"))
+    profile.add_argument("generator", choices=GENERATOR_CHOICES)
+    profile.add_argument("--vectors", type=int, default=4096)
+    profile.add_argument("--width", type=int, default=12)
+    profile.add_argument("--beta", type=float, default=0.25,
+                         help="test-zone width parameter (Figure 1)")
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _configure_logging(verbosity: int, force_info: bool = False) -> None:
+    """Root handler to stderr; ``repro`` logger level from ``-v`` count."""
+    level = logging.WARNING
+    if verbosity == 1:
+        level = logging.INFO
+    elif verbosity >= 2:
+        level = logging.DEBUG
+    if force_info and level > logging.INFO:
+        level = logging.INFO
+    logging.basicConfig(stream=sys.stderr,
+                        format="%(levelname)s %(name)s: %(message)s")
+    # Handlers live on the root; level control lives on the package
+    # logger, so library INFO/DEBUG records propagate when requested.
+    logging.getLogger("repro").setLevel(level)
+
+
+def _cmd_profile(args, ctx: ExperimentContext, tel: Telemetry) -> int:
+    """The ``profile`` command: one instrumented coverage session."""
+    with tel.span("profile.setup", design=args.design):
+        design = ctx.designs[args.design]
+        universe = ctx.universe(args.design)
+    gen = make_generator(args.generator, args.width, args.vectors)
+    tracer = ZoneTracer.for_design(design, beta=args.beta)
+    result = run_fault_coverage(design, gen, args.vectors, universe=universe,
+                                zone_tracer=tracer)
+    tracer.publish(tel)
+
+    print(coverage_summary(result))
+    print()
+    print("span tree:")
+    print(format_span_tree(tel.roots))
+    vps = tel.gauge("faultsim.vectors_per_sec").value
+    if vps:
+        print(f"\nthroughput: {vps:,.0f} vectors/sec "
+              f"({vps * universe.fault_count:,.0f} fault-vectors/sec)")
+    print()
+    print(tracer.table())
+    return 0
+
+
+def _dispatch(args, tel: Optional[Telemetry]) -> int:
     ctx = ExperimentContext()
 
     if args.command == "stats":
@@ -196,7 +282,48 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote {args.out}")
         return 0
 
+    if args.command == "profile":
+        assert tel is not None  # the profile command always collects
+        return _cmd_profile(args, ctx, tel)
+
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    summary_to_log = args.profile and args.command != "profile"
+    _configure_logging(args.verbose, force_info=summary_to_log)
+    profiling = bool(args.profile or args.trace_out
+                     or args.command == "profile")
+
+    tel: Optional[Telemetry] = None
+    previous = None
+    if profiling:
+        sinks = []
+        if args.trace_out:
+            trace_sink = JsonlSink(args.trace_out)
+            try:
+                trace_sink.open()
+            except OSError as exc:
+                print(f"repro: cannot open trace file: {exc}",
+                      file=sys.stderr)
+                return 2
+            sinks.append(trace_sink)
+        if summary_to_log:
+            sinks.append(LoggingSummarySink())
+        tel = Telemetry(sinks=sinks)
+        previous = set_telemetry(tel)
+        logger.debug("telemetry enabled (command=%s)", args.command)
+
+    try:
+        return _dispatch(args, tel)
+    finally:
+        if profiling:
+            set_telemetry(previous)
+            tel.flush()
+            tel.close()
+            if args.trace_out:
+                logger.info("wrote telemetry trace to %s", args.trace_out)
 
 
 if __name__ == "__main__":  # pragma: no cover

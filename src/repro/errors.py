@@ -39,3 +39,7 @@ class GeneratorError(ReproError):
 
 class AnalysisError(ReproError):
     """Frequency-domain or statistical analysis failure."""
+
+
+class TelemetryError(ReproError):
+    """Invalid telemetry instrument, span or sink usage."""

@@ -25,6 +25,7 @@ from ..faultsim.inject import fault_effect
 from ..generators.base import match_width
 from ..generators.sine import SineGenerator
 from ..rtl.simulate import simulate
+from ..telemetry import traced
 from .config import ExperimentContext
 from .render import ascii_table, series_block, waveform_sketch
 
@@ -60,6 +61,7 @@ class FigureResult:
 # ----------------------------------------------------------------------
 # Figure 1 — test zones on a hypothetical primary-input pdf
 # ----------------------------------------------------------------------
+@traced("experiments.figure1")
 def figure1(beta: float = 0.08, sigma: float = 0.35) -> FigureResult:
     """Zones over a Gaussian-ish primary-input density (illustrative)."""
     grid = np.linspace(-1.25, 1.25, 501)
@@ -139,6 +141,7 @@ def find_serious_missed_fault(ctx: ExperimentContext) -> SeriousMiss:
     raise RuntimeError("no sine-excitable missed fault found")
 
 
+@traced("experiments.figure2")
 def figure2(ctx: Optional[ExperimentContext] = None) -> FigureResult:
     ctx = ctx or ExperimentContext()
     design = ctx.designs["LP"]
@@ -166,6 +169,7 @@ def figure2(ctx: Optional[ExperimentContext] = None) -> FigureResult:
     )
 
 
+@traced("experiments.figure3")
 def figure3(ctx: Optional[ExperimentContext] = None) -> FigureResult:
     ctx = ctx or ExperimentContext()
     design = ctx.designs["LP"]
@@ -193,6 +197,7 @@ def figure3(ctx: Optional[ExperimentContext] = None) -> FigureResult:
 # ----------------------------------------------------------------------
 # Figure 4 — generator power spectra
 # ----------------------------------------------------------------------
+@traced("experiments.figure4")
 def figure4(ctx: Optional[ExperimentContext] = None,
             n_bins: int = 64) -> FigureResult:
     ctx = ctx or ExperimentContext()
@@ -213,6 +218,7 @@ def figure4(ctx: Optional[ExperimentContext] = None,
 # ----------------------------------------------------------------------
 # Figure 5 — LFSR-1 waveform segment
 # ----------------------------------------------------------------------
+@traced("experiments.figure5")
 def figure5(ctx: Optional[ExperimentContext] = None) -> FigureResult:
     ctx = ctx or ExperimentContext()
     w = ctx.config.generator_width
@@ -269,6 +275,7 @@ def _tap_signal_figure(ctx: ExperimentContext, generator_key: str,
     )
 
 
+@traced("experiments.figure6")
 def figure6(ctx: Optional[ExperimentContext] = None) -> FigureResult:
     ctx = ctx or ExperimentContext()
     return _tap_signal_figure(
@@ -277,6 +284,7 @@ def figure6(ctx: Optional[ExperimentContext] = None) -> FigureResult:
     )
 
 
+@traced("experiments.figure7")
 def figure7(ctx: Optional[ExperimentContext] = None) -> FigureResult:
     ctx = ctx or ExperimentContext()
     return _tap_signal_figure(
@@ -318,6 +326,7 @@ def _pdf_overlap(grid: np.ndarray, p: np.ndarray, q: np.ndarray) -> float:
     return float(np.sum(np.minimum(p, q)) * step)
 
 
+@traced("experiments.figure8")
 def figure8(ctx: Optional[ExperimentContext] = None) -> FigureResult:
     ctx = ctx or ExperimentContext()
     model = type1_lfsr_model(ctx.config.generator_width)
@@ -328,6 +337,7 @@ def figure8(ctx: Optional[ExperimentContext] = None) -> FigureResult:
     )
 
 
+@traced("experiments.figure9")
 def figure9(ctx: Optional[ExperimentContext] = None) -> FigureResult:
     ctx = ctx or ExperimentContext()
     model = uniform_white_model(ctx.config.generator_width)
@@ -359,18 +369,21 @@ def _coverage_figure(ctx: ExperimentContext, design_name: str,
     )
 
 
+@traced("experiments.figure10")
 def figure10(ctx: Optional[ExperimentContext] = None) -> FigureResult:
     ctx = ctx or ExperimentContext()
     return _coverage_figure(ctx, "LP",
                             "Figure 10: fault simulation, lowpass filter")
 
 
+@traced("experiments.figure11")
 def figure11(ctx: Optional[ExperimentContext] = None) -> FigureResult:
     ctx = ctx or ExperimentContext()
     return _coverage_figure(ctx, "BP",
                             "Figure 11: fault simulation, bandpass filter")
 
 
+@traced("experiments.figure12")
 def figure12(ctx: Optional[ExperimentContext] = None) -> FigureResult:
     ctx = ctx or ExperimentContext()
     return _coverage_figure(ctx, "HP",
@@ -380,6 +393,7 @@ def figure12(ctx: Optional[ExperimentContext] = None) -> FigureResult:
 # ----------------------------------------------------------------------
 # Figure 13 — mixed-mode advantage
 # ----------------------------------------------------------------------
+@traced("experiments.figure13")
 def figure13(ctx: Optional[ExperimentContext] = None) -> FigureResult:
     ctx = ctx or ExperimentContext()
     n = ctx.config.table4_vectors

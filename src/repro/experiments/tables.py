@@ -15,6 +15,7 @@ from ..analysis.compatibility import classify_ratio, compatibility_ratio
 from ..analysis.spectrum import generator_spectrum
 from ..analysis.testzones import difficult_test_table
 from ..filters.stats import design_statistics
+from ..telemetry import traced
 from .config import ExperimentContext
 from .render import ascii_table
 
@@ -94,6 +95,7 @@ class TableResult:
 # ----------------------------------------------------------------------
 # Table 1 — design statistics
 # ----------------------------------------------------------------------
+@traced("experiments.table1")
 def table1(ctx: Optional[ExperimentContext] = None) -> TableResult:
     ctx = ctx or ExperimentContext()
     headers = ["design", "adders", "regs", "in", "coef", "out", "faults"]
@@ -114,6 +116,7 @@ def table1(ctx: Optional[ExperimentContext] = None) -> TableResult:
 # ----------------------------------------------------------------------
 # Table 2 — difficult test conditions (definitional, plus verification)
 # ----------------------------------------------------------------------
+@traced("experiments.table2")
 def table2(ctx: Optional[ExperimentContext] = None) -> TableResult:
     headers = ["test", "input", "output"]
     rows = []
@@ -137,6 +140,7 @@ def table2(ctx: Optional[ExperimentContext] = None) -> TableResult:
 # ----------------------------------------------------------------------
 # Table 3 — generator/filter compatibility
 # ----------------------------------------------------------------------
+@traced("experiments.table3")
 def table3(ctx: Optional[ExperimentContext] = None) -> TableResult:
     ctx = ctx or ExperimentContext()
     gens = ctx.spectrum_generators()
@@ -163,6 +167,7 @@ def table3(ctx: Optional[ExperimentContext] = None) -> TableResult:
 # ----------------------------------------------------------------------
 # Tables 4 and 5 — missed faults after 4k vectors
 # ----------------------------------------------------------------------
+@traced("experiments.table4")
 def table4(ctx: Optional[ExperimentContext] = None) -> TableResult:
     ctx = ctx or ExperimentContext()
     n = ctx.config.table4_vectors
@@ -184,6 +189,7 @@ def table4(ctx: Optional[ExperimentContext] = None) -> TableResult:
     )
 
 
+@traced("experiments.table5")
 def table5(ctx: Optional[ExperimentContext] = None) -> TableResult:
     ctx = ctx or ExperimentContext()
     n = ctx.config.table4_vectors
@@ -210,6 +216,7 @@ def table5(ctx: Optional[ExperimentContext] = None) -> TableResult:
 # ----------------------------------------------------------------------
 # Table 6 — mixed LFSR-1 / LFSR-M scheme
 # ----------------------------------------------------------------------
+@traced("experiments.table6")
 def table6(ctx: Optional[ExperimentContext] = None) -> TableResult:
     ctx = ctx or ExperimentContext()
     n = ctx.config.table6_vectors

@@ -25,10 +25,14 @@ import numpy as np
 from ..errors import SimulationError
 from ..generators.base import TestGenerator, match_width
 from ..rtl.build import FilterDesign
+from ..telemetry import get_telemetry
 from .dictionary import DesignFault, FaultUniverse, build_fault_universe
 from .patterns import UNSEEN, PatternTracker, track_patterns
 
 __all__ = ["CoverageResult", "run_fault_coverage", "coverage_of_tracker"]
+
+#: Detection-latency histogram buckets, in vectors (powers of two).
+LATENCY_EDGES = tuple(float(1 << k) for k in range(0, 17, 2))
 
 
 @dataclass
@@ -120,23 +124,56 @@ def coverage_of_tracker(
     )
 
 
+def _record_detection_latencies(tel, result: CoverageResult) -> None:
+    """Per-fault-class detection-latency histograms (telemetry on only)."""
+    detect = result.detect_time
+    classes = np.array([f.cell_fault.name for f in result.universe.faults])
+    for cls in np.unique(classes):
+        times = detect[(classes == cls) & (detect != UNSEEN)]
+        if times.size:
+            tel.histogram(f"faultsim.detect_latency.{cls}",
+                          edges=LATENCY_EDGES).observe_many(times + 1)
+
+
 def run_fault_coverage(
     design: FilterDesign,
     generator: TestGenerator,
     n_vectors: int,
     universe: Optional[FaultUniverse] = None,
+    zone_tracer=None,
 ) -> CoverageResult:
     """One complete BIST session: generator -> filter -> coverage.
 
     The generator is reset, ``n_vectors`` words are produced (width-matched
     to the filter input), and the full fault universe is graded.
+
+    ``zone_tracer`` optionally attaches a
+    :class:`repro.telemetry.ZoneTracer` whose hook observes every
+    operator's session operands alongside the pattern tracker.
     """
     if n_vectors <= 0:
         raise SimulationError("n_vectors must be positive")
-    if universe is None:
-        universe = build_fault_universe(design.graph, name=design.name)
-    raw = generator.sequence(n_vectors)
-    raw = match_width(raw, generator.width, design.input_fmt.width)
-    tracker = track_patterns(design.graph, universe, raw)
-    return coverage_of_tracker(tracker, design_name=design.name,
-                               generator_name=generator.name)
+    tel = get_telemetry()
+    with tel.span("faultsim.run", design=design.name,
+                  generator=generator.name, vectors=n_vectors) as sp:
+        if universe is None:
+            with tel.span("faultsim.build_universe"):
+                universe = build_fault_universe(design.graph, name=design.name)
+        with tel.span("faultsim.generate"):
+            raw = generator.sequence(n_vectors)
+            raw = match_width(raw, generator.width, design.input_fmt.width)
+        with tel.span("faultsim.track"):
+            tracker = track_patterns(
+                design.graph, universe, raw,
+                extra_hook=None if zone_tracer is None else zone_tracer.hook)
+        with tel.span("faultsim.classify"):
+            result = coverage_of_tracker(tracker, design_name=design.name,
+                                         generator_name=generator.name)
+    if tel.enabled:
+        tel.counter("faultsim.sessions").add(1)
+        tel.counter("faultsim.vectors").add(n_vectors)
+        tel.counter("faultsim.faults_graded").add(universe.fault_count)
+        if sp.duration > 0:
+            tel.gauge("faultsim.vectors_per_sec").set(n_vectors / sp.duration)
+        _record_detection_latencies(tel, result)
+    return result

@@ -98,6 +98,7 @@ def track_patterns(
     universe: FaultUniverse,
     input_raw: np.ndarray,
     tracker: Optional[PatternTracker] = None,
+    extra_hook=None,
 ) -> PatternTracker:
     """Simulate ``input_raw`` and record pattern first occurrences.
 
@@ -107,11 +108,21 @@ def track_patterns(
     for the long FIR pipelines studied here the few warm-up vectors are
     irrelevant, and generators like :class:`MixedModeLfsr` avoid the
     issue entirely by producing the whole session in one sequence.
+
+    ``extra_hook`` is an additional ``AdderHook`` (e.g. a telemetry
+    :class:`~repro.telemetry.ZoneTracer`'s ``hook``) observing the same
+    aligned operands the tracker sees, in the same single pass.
     """
     if tracker is None:
         tracker = PatternTracker(universe)
     if tracker.universe is not universe:
         raise SimulationError("tracker belongs to a different fault universe")
-    simulate(graph, input_raw, adder_hook=tracker.hook)
+    if extra_hook is None:
+        hook = tracker.hook
+    else:
+        def hook(node, a, b):
+            tracker.hook(node, a, b)
+            extra_hook(node, a, b)
+    simulate(graph, input_raw, adder_hook=hook)
     tracker.advance(len(input_raw))
     return tracker

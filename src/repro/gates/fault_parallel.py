@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import SimulationError
+from ..telemetry import get_telemetry
 from .faults import EnumeratedFault
 from .gatesim import NetlistFault
 from .netlist import GateNetlist
@@ -70,6 +71,21 @@ def fault_parallel_detect(
     (the alias-free response-analyzer criterion).  Pass the fault-free
     output sequence as ``golden`` to avoid recomputing it per batch.
     """
+    tel = get_telemetry()
+    with tel.span("gates.fault_batch", faults=len(faults)):
+        verdicts = _fault_parallel_body(nl, input_raw, faults, golden)
+    if tel.enabled:
+        tel.counter("gates.fault_batches").add(1)
+        tel.counter("gates.faults_graded").add(len(faults))
+    return verdicts
+
+
+def _fault_parallel_body(
+    nl: GateNetlist,
+    input_raw: Sequence[int],
+    faults: Sequence[NetlistFault],
+    golden: Optional[np.ndarray] = None,
+) -> np.ndarray:
     if len(faults) > 64:
         raise SimulationError("at most 64 faults per batch")
     raw = np.asarray(input_raw, dtype=np.int64)
@@ -180,15 +196,20 @@ def gate_level_missed(
     """
     from .gatesim import simulate_netlist
 
-    golden = simulate_netlist(nl, input_raw)["output"]
-    missed: List[EnumeratedFault] = []
-    for start in range(0, len(faults), 64):
-        batch = faults[start:start + 64]
-        verdicts = fault_parallel_detect(
-            nl, input_raw, [f.netlist_fault for f in batch], golden=golden)
-        for fault, hit in zip(batch, verdicts):
-            if not hit:
-                missed.append(fault)
-        if progress is not None:
-            progress(min(start + 64, len(faults)), len(faults))
+    tel = get_telemetry()
+    with tel.span("gates.fault_parallel", faults=len(faults),
+                  vectors=len(input_raw)) as span:
+        golden = simulate_netlist(nl, input_raw)["output"]
+        missed: List[EnumeratedFault] = []
+        for start in range(0, len(faults), 64):
+            batch = faults[start:start + 64]
+            verdicts = fault_parallel_detect(
+                nl, input_raw, [f.netlist_fault for f in batch], golden=golden)
+            for fault, hit in zip(batch, verdicts):
+                if not hit:
+                    missed.append(fault)
+            if progress is not None:
+                progress(min(start + 64, len(faults)), len(faults))
+    if tel.enabled and span.duration > 0:
+        tel.gauge("gates.faults_per_sec").set(len(faults) / span.duration)
     return missed

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import SimulationError
+from ..telemetry import get_telemetry
 from .netlist import GateNetlist
 
 __all__ = ["NetlistFault", "pack_input_bits", "bits_to_raw", "simulate_netlist",
@@ -85,6 +86,27 @@ def simulate_netlist(
     """
     raw = np.asarray(input_raw, dtype=np.int64)
     length = len(raw)
+    tel = get_telemetry()
+    with tel.span("gates.simulate_netlist", gates=len(nl.gates),
+                  dffs=len(nl.dffs), vectors=length,
+                  faulty=fault is not None) as span:
+        result = _simulate_netlist_body(nl, raw, length, fault, observe_nets)
+    if tel.enabled:
+        evals = len(nl.gates) * length
+        tel.counter("gates.simulations").add(1)
+        tel.counter("gates.gate_evals").add(evals)
+        if span.duration > 0:
+            tel.gauge("gates.gate_evals_per_sec").set(evals / span.duration)
+    return result
+
+
+def _simulate_netlist_body(
+    nl: GateNetlist,
+    raw: np.ndarray,
+    length: int,
+    fault: Optional[NetlistFault],
+    observe_nets: Optional[Iterable[int]],
+) -> Dict[str, object]:
     values: Dict[int, np.ndarray] = {
         nl.CONST0: np.zeros(length, dtype=bool),
         nl.CONST1: np.ones(length, dtype=bool),

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..errors import GeneratorError
 from ..fixedpoint import Fixed
+from ..telemetry import get_telemetry
 
 __all__ = ["TestGenerator", "match_width"]
 
@@ -75,8 +76,27 @@ class TestGenerator(abc.ABC):
 
     def sequence(self, n: int) -> np.ndarray:
         """``reset()`` then ``generate(n)`` — a fresh test session."""
-        self.reset()
-        return self.generate(n)
+        tel = get_telemetry()
+        with tel.span("generators.sequence", generator=self.name, words=n):
+            self.reset()
+            out = self.generate(n)
+        if tel.enabled:
+            tel.counter("generators.words").add(n)
+            tel.counter(f"generators.words.{self.name}").add(n)
+        return out
+
+    def __iter__(self):
+        """Iterate the stream one word at a time (clocking the hardware).
+
+        Infinite iterator; each step draws one word via :meth:`generate`
+        and counts it on the ``generators.steps`` telemetry counter.
+        """
+        tel = get_telemetry()
+        steps = tel.counter("generators.steps")
+        while True:
+            word = self.generate(1)
+            steps.add(1)
+            yield int(word[0])
 
     def hardware_cost(self) -> Dict[str, int]:
         """Rough implementation cost: flip-flops and 2-input gates.

@@ -17,12 +17,14 @@ Three capabilities matter to the reproduction:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
 from ..errors import SimulationError
+from ..telemetry import get_telemetry
 from .graph import Graph
 from .nodes import Node, OpKind
 
@@ -174,42 +176,58 @@ def simulate(
         if remaining[nid] <= 0 and nid not in keep:
             live.pop(nid, None)
 
-    for nid in order:
-        node = graph.node(nid)
-        if node.kind is OpKind.INPUT:
-            value = raw
-        elif node.kind is OpKind.CONST:
-            value = np.zeros(length, dtype=np.int64)
-        elif node.kind is OpKind.DELAY:
-            src = live[node.srcs[0]]
-            value = np.empty_like(src)
-            value[0] = 0
-            value[1:] = src[:-1]
-            retire(node.srcs[0])
-        elif node.kind is OpKind.SHIFT:
-            value = _eval_shift(live[node.srcs[0]], node, graph.node(node.srcs[0]))
-            retire(node.srcs[0])
-        elif node.kind in (OpKind.ADD, OpKind.SUB):
-            a = _align(live[node.srcs[0]], graph.node(node.srcs[0]).fmt, node.fmt)
-            b = _align(live[node.srcs[1]], graph.node(node.srcs[1]).fmt, node.fmt)
-            if adder_hook is not None:
-                adder_hook(node, a, b)
-            if fault is not None and fault.node_id == nid:
-                value = _eval_faulty_adder(a, b, node, fault)
-            elif node.kind is OpKind.ADD:
-                value = node.fmt.wrap(a + b)
-            else:
-                value = node.fmt.wrap(a - b)
-            retire(node.srcs[0])
-            retire(node.srcs[1])
-        elif node.kind is OpKind.OUTPUT:
-            value = live[node.srcs[0]]
-            retire(node.srcs[0])
-        else:  # pragma: no cover - exhaustive over OpKind
-            raise SimulationError(f"unhandled node kind {node.kind}")
-        live[nid] = value
-        if nid in keep:
-            kept[nid] = value
+    tel = get_telemetry()
+    timed = tel.enabled
+    kind_seconds: Dict[OpKind, float] = {}
+    with tel.span("rtl.simulate", nodes=len(order), vectors=length):
+        for nid in order:
+            if timed:
+                t0 = time.perf_counter()
+            node = graph.node(nid)
+            if node.kind is OpKind.INPUT:
+                value = raw
+            elif node.kind is OpKind.CONST:
+                value = np.zeros(length, dtype=np.int64)
+            elif node.kind is OpKind.DELAY:
+                src = live[node.srcs[0]]
+                value = np.empty_like(src)
+                value[0] = 0
+                value[1:] = src[:-1]
+                retire(node.srcs[0])
+            elif node.kind is OpKind.SHIFT:
+                value = _eval_shift(live[node.srcs[0]], node, graph.node(node.srcs[0]))
+                retire(node.srcs[0])
+            elif node.kind in (OpKind.ADD, OpKind.SUB):
+                a = _align(live[node.srcs[0]], graph.node(node.srcs[0]).fmt, node.fmt)
+                b = _align(live[node.srcs[1]], graph.node(node.srcs[1]).fmt, node.fmt)
+                if adder_hook is not None:
+                    adder_hook(node, a, b)
+                if fault is not None and fault.node_id == nid:
+                    value = _eval_faulty_adder(a, b, node, fault)
+                elif node.kind is OpKind.ADD:
+                    value = node.fmt.wrap(a + b)
+                else:
+                    value = node.fmt.wrap(a - b)
+                retire(node.srcs[0])
+                retire(node.srcs[1])
+            elif node.kind is OpKind.OUTPUT:
+                value = live[node.srcs[0]]
+                retire(node.srcs[0])
+            else:  # pragma: no cover - exhaustive over OpKind
+                raise SimulationError(f"unhandled node kind {node.kind}")
+            live[nid] = value
+            if nid in keep:
+                kept[nid] = value
+            if timed:
+                kind = node.kind
+                kind_seconds[kind] = (kind_seconds.get(kind, 0.0)
+                                      + time.perf_counter() - t0)
+    if timed:
+        tel.counter("rtl.simulations").add(1)
+        tel.counter("rtl.node_evals").add(len(order))
+        tel.counter("rtl.node_cycles").add(len(order) * length)
+        for kind, seconds in kind_seconds.items():
+            tel.counter(f"rtl.kind.{kind.name.lower()}.seconds").add(seconds)
     return SimResult(graph=graph, length=length, values=kept)
 
 

@@ -1,0 +1,67 @@
+"""Telemetry for the BIST fault-simulation pipeline.
+
+Hierarchical wall-time spans, typed metrics (counters, gauges,
+histograms) and pluggable sinks, plus the paper-specific test-zone
+tracer.  The pipeline is instrumented throughout (`faultsim`, `gates`,
+`rtl`, `generators`, `bist`, `experiments`); all of it is a no-op until
+a collector is installed, so grading throughput is unaffected by
+default.
+
+Enable for a region::
+
+    from repro.telemetry import telemetry_session
+
+    with telemetry_session() as tel:
+        result = run_fault_coverage(design, gen, 4096)
+        print(tel.render())          # span tree + metric summary
+
+or from the CLI with ``python -m repro --profile ...``,
+``--trace-out trace.jsonl``, or the dedicated ``profile`` command.
+
+See ``docs/telemetry.md`` for naming conventions and how to add a sink.
+"""
+
+from .collector import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_session,
+    traced,
+)
+from .metrics import NULL_INSTRUMENT, Counter, Gauge, Histogram
+from .sinks import (
+    InMemorySink,
+    JsonlSink,
+    LoggingSummarySink,
+    TelemetrySink,
+    reconstruct_spans,
+    summarize_metrics,
+)
+from .spans import Span, format_duration, format_span_tree
+from .zones import ZoneTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "JsonlSink",
+    "LoggingSummarySink",
+    "NULL_INSTRUMENT",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Span",
+    "Telemetry",
+    "TelemetrySink",
+    "ZoneTracer",
+    "format_duration",
+    "format_span_tree",
+    "get_telemetry",
+    "reconstruct_spans",
+    "set_telemetry",
+    "summarize_metrics",
+    "telemetry_session",
+    "traced",
+]

@@ -1,0 +1,263 @@
+"""The telemetry collector and the process-wide current collector.
+
+Design goals, in order:
+
+1. **Zero cost when disabled.**  The default current collector is a
+   shared :class:`NullTelemetry` whose ``span()`` returns one reusable
+   no-op context manager and whose instrument getters return one shared
+   no-op instrument — instrumented hot paths pay a dict-free method call
+   and nothing else.  Code that would do per-element work to *feed*
+   telemetry must guard it with ``if tel.enabled:``.
+2. **One collector, many sinks.**  The active :class:`Telemetry` keeps
+   the span forest and instruments in memory (for in-process rendering)
+   and forwards flat events to its sinks (JSONL file, logging summary,
+   test collectors).
+
+Usage::
+
+    from repro.telemetry import get_telemetry, telemetry_session
+
+    with telemetry_session() as tel:        # enable for a region
+        run_fault_coverage(...)
+        print(tel.render())
+
+    # inside library code
+    tel = get_telemetry()
+    with tel.span("faultsim.track", vectors=n):
+        ...
+    tel.counter("faultsim.vectors").add(n)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import itertools
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..errors import TelemetryError
+from .metrics import NULL_INSTRUMENT, Counter, Gauge, Histogram
+from .sinks import TelemetrySink, summarize_metrics
+from .spans import Span, format_span_tree
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_session",
+    "traced",
+]
+
+
+class Telemetry:
+    """An enabled collector: hierarchical spans + typed metrics + sinks."""
+
+    enabled = True
+
+    def __init__(self, sinks: Optional[Iterable[TelemetrySink]] = None):
+        self.sinks: List[TelemetrySink] = list(sinks or ())
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._metrics: Dict[str, object] = {}
+        self._sid = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs):
+        """Time a region; nests under the innermost open span."""
+        parent = self._stack[-1] if self._stack else None
+        sp = Span(name=name, sid=next(self._sid),
+                  parent_id=None if parent is None else parent.sid,
+                  attrs=attrs)
+        self._stack.append(sp)
+        sp.start = time.perf_counter()
+        try:
+            yield sp
+        except BaseException as exc:
+            sp.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            sp.end = time.perf_counter()
+            self._stack.pop()
+            (self.roots if parent is None else parent.children).append(sp)
+            self._emit(sp.to_event())
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _instrument(self, name: str, cls, *args):
+        inst = self._metrics.get(name)
+        if inst is None:
+            inst = cls(name, *args)
+            self._metrics[name] = inst
+        elif not isinstance(inst, cls):
+            raise TelemetryError(
+                f"metric {name!r} is already registered as a {inst.kind}")
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._instrument(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._instrument(name, Gauge)
+
+    def histogram(self, name: str,
+                  edges: Optional[Sequence[float]] = None) -> Histogram:
+        if name in self._metrics:
+            return self._instrument(name, Histogram)
+        return self._instrument(name, Histogram, edges)
+
+    def metrics(self) -> Dict[str, object]:
+        """Snapshot view of all instruments by name."""
+        return dict(self._metrics)
+
+    # ------------------------------------------------------------------
+    # Sinks and rendering
+    # ------------------------------------------------------------------
+    def _emit(self, event: Dict[str, object]) -> None:
+        for sink in self.sinks:
+            sink.on_event(event)
+
+    def flush(self) -> None:
+        """Push instrument snapshots to the sinks and flush them.
+
+        Call once at session end (``telemetry_session`` does); flushing
+        mid-run would duplicate metric snapshots in streaming sinks.
+        """
+        for inst in self._metrics.values():
+            self._emit(inst.to_event())
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    def render(self, include_metrics: bool = True) -> str:
+        """Human-readable span tree (+ metric summary) of the session."""
+        parts = [format_span_tree(self.roots)]
+        if include_metrics and self._metrics:
+            summary = summarize_metrics(
+                [inst.to_event() for inst in self._metrics.values()])
+            if summary:
+                parts.append("metrics:")
+                parts.append(summary)
+        return "\n".join(parts)
+
+
+class _NullSpan:
+    """Reusable no-op context manager standing in for a Span."""
+
+    __slots__ = ()
+    name = ""
+    attrs: Dict[str, object] = {}
+    children: tuple = ()
+    error = None
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """The disabled collector: every operation is a near-free no-op."""
+
+    enabled = False
+    __slots__ = ()
+    roots: tuple = ()
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def current_span(self) -> None:
+        return None
+
+    def counter(self, name: str):
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str):
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str, edges=None):
+        return NULL_INSTRUMENT
+
+    def metrics(self) -> Dict[str, object]:
+        return {}
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def render(self, include_metrics: bool = True) -> str:
+        return "(telemetry disabled)"
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+_current: Union[Telemetry, NullTelemetry] = NULL_TELEMETRY
+
+
+def get_telemetry() -> Union[Telemetry, NullTelemetry]:
+    """The process-wide current collector (the no-op one by default)."""
+    return _current
+
+
+def set_telemetry(
+    tel: Optional[Union[Telemetry, NullTelemetry]]
+) -> Union[Telemetry, NullTelemetry]:
+    """Install ``tel`` (or the null collector for ``None``); returns the
+    previously installed collector so callers can restore it."""
+    global _current
+    previous = _current
+    _current = NULL_TELEMETRY if tel is None else tel
+    return previous
+
+
+@contextlib.contextmanager
+def telemetry_session(sinks: Optional[Iterable[TelemetrySink]] = None,
+                      tel: Optional[Telemetry] = None):
+    """Enable telemetry for a region, restoring the previous collector.
+
+    Yields the active :class:`Telemetry`; on exit the collector is
+    flushed and its sinks closed.
+    """
+    active = tel if tel is not None else Telemetry(sinks=sinks)
+    previous = set_telemetry(active)
+    try:
+        yield active
+    finally:
+        set_telemetry(previous)
+        active.flush()
+        active.close()
+
+
+def traced(name: str, **attrs):
+    """Decorator running the wrapped callable inside a named span."""
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with get_telemetry().span(name, **attrs):
+                return fn(*args, **kwargs)
+        return wrapper
+    return decorate

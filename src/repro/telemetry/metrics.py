@@ -1,0 +1,147 @@
+"""Typed metric instruments: counters, gauges and histograms.
+
+Instruments are created and owned by a
+:class:`~repro.telemetry.collector.Telemetry` collector; user code
+fetches them with ``tel.counter(name)`` / ``tel.gauge(name)`` /
+``tel.histogram(name)`` and never constructs them directly.  A single
+shared no-op instrument backs the disabled collector, so instrumented
+hot paths pay one method call that does nothing when telemetry is off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import TelemetryError
+
+__all__ = ["Counter", "Gauge", "Histogram", "NullInstrument", "NULL_INSTRUMENT"]
+
+
+class Counter:
+    """A monotonically increasing sum.
+
+    Float increments are allowed so the same instrument type serves both
+    event counts (vectors, faults, words) and accumulated seconds.
+    """
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, n=1) -> None:
+        if n < 0:
+            raise TelemetryError(f"counter {self.name!r} cannot decrease")
+        self.value += n
+
+    def to_event(self) -> Dict[str, object]:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A last-written value (e.g. a rate computed at the end of a stage)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def to_event(self) -> Dict[str, object]:
+        return {"type": "gauge", "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """A fixed-bucket histogram with running count/sum/min/max.
+
+    ``edges`` are the inner bucket boundaries, strictly increasing:
+    ``len(edges) + 1`` buckets, where bucket ``i`` counts values in
+    ``[edges[i-1], edges[i])`` and the first/last buckets are open-ended.
+    The default edges suit wall-time observations in seconds.
+    """
+
+    kind = "histogram"
+    DEFAULT_EDGES = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+
+    def __init__(self, name: str, edges: Optional[Sequence[float]] = None):
+        self.name = name
+        self.edges = np.asarray(
+            edges if edges is not None else self.DEFAULT_EDGES, dtype=float)
+        if self.edges.ndim != 1 or self.edges.size == 0:
+            raise TelemetryError(
+                f"histogram {name!r} needs a 1-D non-empty edge list")
+        if np.any(np.diff(self.edges) <= 0):
+            raise TelemetryError(
+                f"histogram {name!r} edges must be strictly increasing")
+        self.counts = np.zeros(self.edges.size + 1, dtype=np.int64)
+        self.count = 0
+        self.total = 0.0
+        self.min = np.inf
+        self.max = -np.inf
+
+    def observe(self, value) -> None:
+        self.observe_many([value])
+
+    def observe_many(self, values) -> None:
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size == 0:
+            return
+        idx = np.searchsorted(self.edges, arr, side="right")
+        np.add.at(self.counts, idx, 1)
+        self.count += int(arr.size)
+        self.total += float(arr.sum())
+        self.min = min(self.min, float(arr.min()))
+        self.max = max(self.max, float(arr.max()))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_label(self, i: int) -> str:
+        if i == 0:
+            return f"<{self.edges[0]:g}"
+        if i == self.counts.size - 1:
+            return f">={self.edges[-1]:g}"
+        return f"[{self.edges[i - 1]:g},{self.edges[i]:g})"
+
+    def to_event(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "edges": [float(e) for e in self.edges],
+            "counts": [int(c) for c in self.counts],
+            "count": self.count,
+            "sum": self.total,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+        }
+
+
+class NullInstrument:
+    """No-op stand-in for every instrument kind (disabled telemetry)."""
+
+    kind = "null"
+    __slots__ = ()
+
+    def add(self, n=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
+        pass
+
+
+NULL_INSTRUMENT = NullInstrument()

@@ -1,0 +1,97 @@
+"""Hierarchical wall-time spans and their text rendering.
+
+A span is one timed region of the pipeline (``faultsim.track``,
+``rtl.simulate`` ...).  Spans nest: the collector maintains an active
+stack, so a span opened while another is running becomes its child, and
+the finished run is a forest of trees whose per-level durations account
+for where the wall time went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "format_duration", "format_span_tree"]
+
+
+@dataclass
+class Span:
+    """One timed region; ``duration`` is valid once the span has ended."""
+
+    name: str
+    sid: int
+    parent_id: Optional[int] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+    start: float = 0.0
+    end: Optional[float] = None
+    error: Optional[str] = None
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Wall seconds, 0.0 while the span is still open."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attrs) -> None:
+        """Attach extra attributes mid-span."""
+        self.attrs.update(attrs)
+
+    def to_event(self) -> Dict[str, object]:
+        return {
+            "type": "span",
+            "id": self.sid,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+            "error": self.error,
+        }
+
+
+def format_duration(seconds: float) -> str:
+    """Compact human-readable wall time (``1.23s``, ``45.6ms``, ``789us``)."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _attr_suffix(span: Span) -> str:
+    parts = [f"{k}={v}" for k, v in span.attrs.items()]
+    if span.error:
+        parts.append(f"error={span.error}")
+    return f"  [{' '.join(parts)}]" if parts else ""
+
+
+def format_span_tree(roots: List[Span]) -> str:
+    """ASCII tree of span names with durations and attributes.
+
+    Durations are right-aligned in a column past the longest name so the
+    timings can be read top to bottom.
+    """
+    rows: List[tuple] = []  # (prefix, span)
+
+    def walk(span: Span, prefix: str, child_prefix: str) -> None:
+        rows.append((prefix, span))
+        for i, child in enumerate(span.children):
+            last = i == len(span.children) - 1
+            walk(child,
+                 child_prefix + ("`- " if last else "|- "),
+                 child_prefix + ("   " if last else "|  "))
+
+    for root in roots:
+        walk(root, "", "")
+    if not rows:
+        return "(no spans recorded)"
+    name_col = max(len(prefix) + len(span.name) for prefix, span in rows) + 2
+    lines = []
+    for prefix, span in rows:
+        label = f"{prefix}{span.name}"
+        lines.append(f"{label:<{name_col}}{format_duration(span.duration):>9}"
+                     f"{_attr_suffix(span)}")
+    return "\n".join(lines)

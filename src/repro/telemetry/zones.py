@@ -1,0 +1,134 @@
+"""Test-zone tracing: measured evidence for the paper's attenuation claim.
+
+The paper argues (Section 4.1, Table 2, Figure 1) that serious faults
+escape BIST because the *primary* (high-variance) input of a
+variance-mismatched adder rarely enters the narrow test zones near
+±0.5 and ±1 that assert the difficult tests T1/T2/T5/T6.  The
+:class:`ZoneTracer` turns that from a prediction into an observation: it
+rides the RTL simulator's adder hook and counts, per tracked operator,
+how many vectors of a session land in each Figure 1 zone.  The measured
+hit rates are directly comparable to
+:func:`repro.analysis.testzones.zone_probabilities` computed from a
+predicted amplitude distribution.
+
+The primary operand of each operator is chosen per session as the one
+with the larger sample variance — the same convention the paper uses to
+orient Table 2 (``A`` is the high-variance input).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..errors import TelemetryError
+
+__all__ = ["ZoneTracer"]
+
+
+class ZoneTracer:
+    """Counts per-operator vector landings in the Figure 1 test zones.
+
+    Parameters
+    ----------
+    nodes:
+        Ids of the ADD/SUB nodes to trace (e.g. a design's per-tap
+        accumulators).
+    beta:
+        Secondary-input half-range bounding the zone width, as in
+        :func:`repro.analysis.testzones.test_zones`.
+
+    Attach :meth:`hook` as (or inside) an ``adder_hook`` of
+    :func:`repro.rtl.simulate.simulate`, or pass the tracer to
+    :func:`repro.faultsim.engine.run_fault_coverage`.
+    """
+
+    def __init__(self, nodes: Iterable[int], beta: float = 0.25):
+        # Imported lazily: analysis pulls in generators/rtl, which are
+        # themselves instrumented with this package.
+        from ..analysis.testzones import test_zones
+
+        self.beta = beta
+        zones = test_zones(beta)
+        self.labels: List[str] = list(zones)
+        self._lo = np.array([zones[l][0] for l in self.labels])
+        self._hi = np.array([zones[l][1] for l in self.labels])
+        self.nodes = set(int(n) for n in nodes)
+        if not self.nodes:
+            raise TelemetryError("ZoneTracer needs at least one node id")
+        self.hits: Dict[int, np.ndarray] = {
+            n: np.zeros(len(self.labels), dtype=np.int64) for n in self.nodes}
+        self.totals: Dict[int, int] = {n: 0 for n in self.nodes}
+
+    @classmethod
+    def for_design(cls, design, beta: float = 0.25) -> "ZoneTracer":
+        """Trace a filter design's per-tap accumulator operators."""
+        tracer = cls(
+            (t.accumulator for t in design.taps if t.accumulator is not None),
+            beta=beta,
+        )
+        tracer.tap_of = {t.accumulator: t.index for t in design.taps
+                         if t.accumulator is not None}
+        return tracer
+
+    #: Optional node-id -> tap-index mapping used by :meth:`table`.
+    tap_of: Optional[Dict[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def hook(self, node, a: np.ndarray, b: np.ndarray) -> None:
+        """Adder-hook callback: classify one operator's session operands."""
+        if node.nid not in self.nodes:
+            return
+        av = node.fmt.normalize(a)
+        bv = node.fmt.normalize(b)
+        primary = av if av.var() >= bv.var() else bv
+        counts = ((primary[None, :] >= self._lo[:, None])
+                  & (primary[None, :] < self._hi[:, None])).sum(axis=1)
+        self.hits[node.nid] += counts
+        self.totals[node.nid] += primary.size
+
+    # ------------------------------------------------------------------
+    # Queries and reporting
+    # ------------------------------------------------------------------
+    def hit_rates(self, node_id: int) -> Dict[str, float]:
+        """Per-zone fraction of vectors at one operator, by zone label."""
+        if node_id not in self.nodes:
+            raise TelemetryError(f"node {node_id} is not traced")
+        total = max(1, self.totals[node_id])
+        return {label: self.hits[node_id][j] / total
+                for j, label in enumerate(self.labels)}
+
+    def publish(self, tel) -> None:
+        """Record the collected counts as telemetry counters."""
+        if not tel.enabled:
+            return
+        for nid in sorted(self.nodes):
+            tel.counter(f"testzones.node{nid}.vectors").add(self.totals[nid])
+            for j, label in enumerate(self.labels):
+                tel.counter(f"testzones.node{nid}.{label}").add(
+                    int(self.hits[nid][j]))
+
+    def table(self) -> str:
+        """Aligned per-operator zone hit-rate table (percentages).
+
+        Rows are ordered by tap index when the tracer was built with
+        :meth:`for_design`, else by node id.
+        """
+        tap_of = self.tap_of or {}
+        header = (f"{'tap':>4} {'node':>5} {'vectors':>8}  "
+                  + " ".join(f"{label:>7}" for label in self.labels))
+        lines = [f"test-zone hit rates (beta={self.beta:g}), % of vectors",
+                 header]
+        ordered = sorted(self.nodes,
+                         key=lambda n: (tap_of.get(n, -1), n))
+        for nid in ordered:
+            tap = tap_of.get(nid)
+            rates = self.hit_rates(nid)
+            cells = " ".join(f"{100.0 * rates[label]:>7.3f}"
+                             for label in self.labels)
+            lines.append(f"{'-' if tap is None else tap:>4} {nid:>5} "
+                         f"{self.totals[nid]:>8}  {cells}")
+        return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Unit tests for the telemetry layer: spans, metrics, sinks, no-op path."""
+
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    NULL_INSTRUMENT,
+    NULL_TELEMETRY,
+    Histogram,
+    InMemorySink,
+    JsonlSink,
+    LoggingSummarySink,
+    Telemetry,
+    format_duration,
+    format_span_tree,
+    get_telemetry,
+    reconstruct_spans,
+    set_telemetry,
+    telemetry_session,
+    traced,
+)
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tel = Telemetry()
+        with tel.span("outer"):
+            with tel.span("middle"):
+                with tel.span("inner"):
+                    pass
+            with tel.span("sibling"):
+                pass
+        assert [s.name for s in tel.roots] == ["outer"]
+        outer = tel.roots[0]
+        assert [c.name for c in outer.children] == ["middle", "sibling"]
+        assert [c.name for c in outer.children[0].children] == ["inner"]
+        assert outer.duration >= outer.children[0].duration >= 0.0
+
+    def test_parent_ids_link_the_events(self):
+        sink = InMemorySink()
+        tel = Telemetry(sinks=[sink])
+        with tel.span("a"):
+            with tel.span("b"):
+                pass
+        by_name = {e["name"]: e for e in sink.span_events()}
+        assert by_name["a"]["parent"] is None
+        assert by_name["b"]["parent"] == by_name["a"]["id"]
+
+    def test_exception_marks_error_and_unwinds(self):
+        tel = Telemetry()
+        with pytest.raises(ValueError):
+            with tel.span("outer"):
+                with tel.span("boom"):
+                    raise ValueError("bad")
+        assert tel.current_span is None  # stack fully unwound
+        outer = tel.roots[0]
+        assert outer.error and "ValueError" in outer.error
+        assert outer.children[0].error == "ValueError: bad"
+        # the collector stays usable
+        with tel.span("after"):
+            pass
+        assert [s.name for s in tel.roots] == ["outer", "after"]
+
+    def test_mid_span_attributes(self):
+        tel = Telemetry()
+        with tel.span("work", phase=1) as sp:
+            sp.set(items=42)
+        assert tel.roots[0].attrs == {"phase": 1, "items": 42}
+
+    def test_format_tree(self):
+        tel = Telemetry()
+        with tel.span("root", design="LP"):
+            with tel.span("child"):
+                pass
+        text = format_span_tree(tel.roots)
+        assert "root" in text and "`- child" in text and "design=LP" in text
+        assert format_span_tree([]) == "(no spans recorded)"
+
+    def test_format_duration_units(self):
+        assert format_duration(2.5) == "2.50s"
+        assert format_duration(0.0123) == "12.3ms"
+        assert format_duration(45e-6) == "45us"
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        tel = Telemetry()
+        tel.counter("n").add()
+        tel.counter("n").add(4)
+        assert tel.metrics()["n"].value == 5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(TelemetryError):
+            Telemetry().counter("n").add(-1)
+
+    def test_gauge_keeps_last_value(self):
+        tel = Telemetry()
+        tel.gauge("rate").set(1.0)
+        tel.gauge("rate").set(2.5)
+        assert tel.metrics()["rate"].value == 2.5
+
+    def test_kind_conflict_raises(self):
+        tel = Telemetry()
+        tel.counter("x")
+        with pytest.raises(TelemetryError):
+            tel.gauge("x")
+
+    def test_histogram_bucketing(self):
+        h = Histogram("lat", edges=[1.0, 10.0, 100.0])
+        h.observe_many([0.5, 1.0, 5.0, 10.0, 99.9, 100.0, 1000.0])
+        # buckets: <1, [1,10), [10,100), >=100
+        assert list(h.counts) == [1, 2, 2, 2]
+        assert h.count == 7
+        assert h.min == 0.5 and h.max == 1000.0
+        assert h.total == pytest.approx(1216.4)
+        assert h.bucket_label(0) == "<1"
+        assert h.bucket_label(3) == ">=100"
+
+    def test_histogram_observe_many_matches_observe(self):
+        a = Histogram("a", edges=[1, 2, 4])
+        b = Histogram("b", edges=[1, 2, 4])
+        values = [0.1, 1, 1.5, 3, 8]
+        a.observe_many(np.array(values))
+        for v in values:
+            b.observe(v)
+        assert list(a.counts) == list(b.counts)
+        assert a.total == pytest.approx(b.total)
+
+    def test_histogram_empty_observe_is_noop(self):
+        h = Histogram("h")
+        h.observe_many([])
+        assert h.count == 0 and h.mean == 0.0
+
+    def test_histogram_rejects_bad_edges(self):
+        with pytest.raises(TelemetryError):
+            Histogram("h", edges=[2, 1])
+        with pytest.raises(TelemetryError):
+            Histogram("h", edges=[])
+
+
+class TestSinks:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with telemetry_session(sinks=[JsonlSink(str(path))]) as tel:
+            with tel.span("outer", design="LP"):
+                with tel.span("inner"):
+                    pass
+            tel.counter("vectors").add(256)
+            tel.histogram("lat", edges=[1, 10]).observe_many([0.5, 5])
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = {e["type"] for e in events}
+        assert kinds == {"span", "counter", "histogram"}
+        roots = reconstruct_spans(events)
+        assert [s.name for s in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner"]
+        assert roots[0].attrs == {"design": "LP"}
+        counter = next(e for e in events if e["type"] == "counter")
+        assert counter == {"type": "counter", "name": "vectors", "value": 256}
+        hist = next(e for e in events if e["type"] == "histogram")
+        assert hist["counts"] == [1, 1, 0] and hist["count"] == 2
+
+    def test_in_memory_sink_splits_events(self):
+        sink = InMemorySink()
+        with telemetry_session(sinks=[sink]) as tel:
+            with tel.span("s"):
+                pass
+            tel.counter("c").add(1)
+        assert [e["name"] for e in sink.span_events()] == ["s"]
+        assert [e["name"] for e in sink.metric_events()] == ["c"]
+
+    def test_logging_summary_sink(self, caplog):
+        sink = LoggingSummarySink()
+        with caplog.at_level(logging.INFO, logger="repro.telemetry"):
+            with telemetry_session(sinks=[sink]) as tel:
+                with tel.span("faultsim.run"):
+                    pass
+                tel.counter("faultsim.vectors").add(64)
+        assert len(caplog.records) == 1
+        message = caplog.records[0].getMessage()
+        assert "faultsim.run" in message and "faultsim.vectors" in message
+        caplog.clear()
+        sink.flush()  # second flush must not duplicate
+        assert not caplog.records
+
+
+class TestCurrentCollector:
+    def test_default_is_disabled(self):
+        tel = get_telemetry()
+        assert tel is NULL_TELEMETRY
+        assert not tel.enabled
+
+    def test_null_collector_is_free_and_safe(self):
+        tel = NULL_TELEMETRY
+        with tel.span("anything", k=1) as sp:
+            sp.set(more=2)
+        assert tel.counter("c") is NULL_INSTRUMENT
+        tel.counter("c").add(5)
+        tel.gauge("g").set(1)
+        tel.histogram("h").observe_many([1, 2])
+        assert tel.metrics() == {}
+        assert tel.render() == "(telemetry disabled)"
+        tel.flush()
+        tel.close()
+
+    def test_set_telemetry_returns_previous(self):
+        tel = Telemetry()
+        previous = set_telemetry(tel)
+        try:
+            assert get_telemetry() is tel
+        finally:
+            assert set_telemetry(previous) is tel
+        assert get_telemetry() is previous
+
+    def test_session_restores_on_exception(self):
+        before = get_telemetry()
+        with pytest.raises(RuntimeError):
+            with telemetry_session():
+                raise RuntimeError
+        assert get_telemetry() is before
+
+    def test_traced_decorator(self):
+        @traced("unit.work", flavor="test")
+        def work(x):
+            return x + 1
+
+        with telemetry_session() as tel:
+            assert work(1) == 2
+        assert [s.name for s in tel.roots] == ["unit.work"]
+        assert tel.roots[0].attrs == {"flavor": "test"}
+
+    def test_traced_is_noop_when_disabled(self):
+        @traced("unit.work")
+        def work():
+            return "ok"
+
+        assert work() == "ok"
