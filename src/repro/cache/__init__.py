@@ -1,0 +1,54 @@
+"""Content-addressed artifact cache for the fault-simulation pipeline.
+
+The paper's experiment grids recompute the same heavyweight artifacts —
+fault universes, elaborated gate netlists, golden output waveforms and
+full coverage runs — on every invocation.  This package gives them a
+durable home: an on-disk npz store addressed by a stable hash of
+*everything that determines the artifact's content* (design fingerprint,
+generator configuration, vector count, code version), with atomic
+writes, LRU size-cap eviction and telemetry-visible hit/miss counters.
+
+Typical use::
+
+    from repro.cache import ArtifactCache
+    from repro.experiments import ExperimentContext
+
+    ctx = ExperimentContext(cache=ArtifactCache("~/.cache/repro"))
+    ctx.coverage("LP", gen, 4096)   # second process-run: pure cache hits
+
+or from the CLI: ``python -m repro sweep --cache-dir PATH`` /
+``--no-cache``.  Keys change with :data:`~repro.cache.keys.CACHE_SCHEMA`
+and the package version, so upgrades never read stale encodings.
+"""
+
+from .keys import (
+    CACHE_SCHEMA,
+    code_version,
+    design_fingerprint,
+    generator_fingerprint,
+    stable_hash,
+)
+from .pipeline import (
+    cached_coverage,
+    cached_design,
+    cached_golden,
+    cached_netlist,
+    cached_universe,
+)
+from .store import ArtifactCache, CacheStats, default_cache_dir
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE_SCHEMA",
+    "CacheStats",
+    "cached_coverage",
+    "cached_design",
+    "cached_golden",
+    "cached_netlist",
+    "cached_universe",
+    "code_version",
+    "default_cache_dir",
+    "design_fingerprint",
+    "generator_fingerprint",
+    "stable_hash",
+]

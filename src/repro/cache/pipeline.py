@@ -1,0 +1,103 @@
+"""Get-or-compute helpers tying the store to the fault-sim pipeline.
+
+Each helper hashes the inputs that pin an artifact's content (design
+fingerprint, generator configuration, vector count — code version is
+folded in by the store), consults the cache, and falls back to the
+supplied compute callable on a miss, storing the fresh result.  Every
+helper accepts ``cache=None`` and degrades to a plain call, so call
+sites need no conditional plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from . import artifacts
+from .keys import design_fingerprint, generator_fingerprint
+from .store import ArtifactCache
+
+__all__ = [
+    "cached_design", "cached_universe", "cached_netlist",
+    "cached_golden", "cached_coverage",
+]
+
+
+def cached_design(cache: Optional[ArtifactCache], ref: str,
+                  compute: Callable):
+    """A named deterministic design (reference designs are keyed by name)."""
+    if cache is None:
+        return compute()
+    payload = {"ref": ref}
+    entry = cache.load("design", payload)
+    if entry is not None:
+        return artifacts.decode_design(entry, entry["__meta__"])
+    design = compute()
+    arrays, meta = artifacts.encode_design(design)
+    cache.store("design", payload, arrays, meta)
+    return design
+
+
+def cached_universe(cache: Optional[ArtifactCache], design,
+                    compute: Callable):
+    if cache is None:
+        return compute()
+    payload = {"design": design_fingerprint(design)}
+    entry = cache.load("universe", payload)
+    if entry is not None:
+        return artifacts.decode_universe(entry, entry["__meta__"])
+    universe = compute()
+    arrays, meta = artifacts.encode_universe(design.graph, universe)
+    cache.store("universe", payload, arrays, meta)
+    return universe
+
+
+def cached_netlist(cache: Optional[ArtifactCache], design,
+                   compute: Callable):
+    if cache is None:
+        return compute()
+    payload = {"design": design_fingerprint(design)}
+    entry = cache.load("netlist", payload)
+    if entry is not None:
+        return artifacts.decode_netlist(entry, entry["__meta__"])
+    netlist = compute()
+    arrays, meta = artifacts.encode_netlist(netlist)
+    cache.store("netlist", payload, arrays, meta)
+    return netlist
+
+
+def cached_golden(cache: Optional[ArtifactCache], design, generator,
+                  n_vectors: int, compute: Callable) -> np.ndarray:
+    if cache is None:
+        return compute()
+    payload = {
+        "design": design_fingerprint(design),
+        "generator": generator_fingerprint(generator),
+        "n_vectors": int(n_vectors),
+    }
+    entry = cache.load("golden", payload)
+    if entry is not None:
+        return artifacts.decode_golden(entry, entry["__meta__"])
+    golden = compute()
+    arrays, meta = artifacts.encode_golden(golden)
+    cache.store("golden", payload, arrays, meta)
+    return golden
+
+
+def cached_coverage(cache: Optional[ArtifactCache], design, generator,
+                    n_vectors: int, universe, compute: Callable):
+    if cache is None:
+        return compute()
+    payload = {
+        "design": design_fingerprint(design),
+        "generator": generator_fingerprint(generator),
+        "n_vectors": int(n_vectors),
+    }
+    entry = cache.load("coverage", payload)
+    if entry is not None:
+        return artifacts.decode_coverage(entry, entry["__meta__"], universe)
+    result = compute()
+    arrays, meta = artifacts.encode_coverage(result)
+    cache.store("coverage", payload, arrays, meta)
+    return result

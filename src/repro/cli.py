@@ -9,6 +9,8 @@ Commands
 ``table N``   Regenerate paper Table N.
 ``figure N``  Regenerate paper Figure N.
 ``profile``   Profile a BIST session: span tree, rates, test-zone hits.
+``sweep``     Parallel design x generator coverage grid (cache-backed).
+``bench``     Serial-vs-parallel throughput benchmark -> JSON report.
 
 Global flags: ``--version``, ``-v/--verbose`` (repeatable),
 ``--profile`` (log a telemetry summary for any command) and
@@ -164,6 +166,40 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--width", type=int, default=12)
     profile.add_argument("--beta", type=float, default=0.25,
                          help="test-zone width parameter (Figure 1)")
+
+    def add_grid_flags(p, default_generators: str, default_vectors: int):
+        p.add_argument("--designs", default="LP,BP,HP",
+                       help="comma-separated subset of LP,BP,HP")
+        p.add_argument("--generators", default=default_generators,
+                       help="comma-separated generator keys "
+                            "(LFSR-1, LFSR-2, LFSR-D, LFSR-M, Ramp, Mixed)")
+        p.add_argument("--vectors", type=int, default=default_vectors)
+        p.add_argument("--jobs", type=int, default=0,
+                       help="worker processes (0 = auto: $REPRO_JOBS or "
+                            "CPU count)")
+        p.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="artifact cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk artifact cache")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="grade a design x generator grid across worker processes")
+    add_grid_flags(sweep, "LFSR-1,LFSR-D,LFSR-M,Ramp", 4096)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time serial vs parallel grid grading; write a JSON report")
+    add_grid_flags(bench, "LFSR-1,LFSR-D", 2048)
+    bench.add_argument("--out", default="BENCH_parallel.json",
+                       help="machine-readable benchmark report path")
+    bench.add_argument("--check", action="store_true",
+                       help="exit nonzero if parallel throughput falls "
+                            "below --threshold x serial, or results differ")
+    bench.add_argument("--threshold", type=float, default=1.0,
+                       help="minimum acceptable parallel/serial throughput "
+                            "ratio for --check (default 1.0)")
     return parser
 
 
@@ -207,7 +243,166 @@ def _cmd_profile(args, ctx: ExperimentContext, tel: Telemetry) -> int:
     return 0
 
 
+def _make_cache(args):
+    """The artifact cache selected by --cache-dir / --no-cache."""
+    if args.no_cache:
+        return None
+    from .cache import ArtifactCache
+
+    return ArtifactCache(args.cache_dir)
+
+
+def _parse_grid(args, ctx: ExperimentContext):
+    """Validated (designs, generator keys) lists for sweep/bench."""
+    from .parallel import GENERATOR_KEYS
+
+    designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    gens = [g.strip() for g in args.generators.split(",") if g.strip()]
+    for d in designs:
+        if d not in ctx.designs:
+            raise ReproError(f"unknown design {d!r}; choose from "
+                             f"{', '.join(sorted(ctx.designs))}")
+    for g in gens:
+        if g not in GENERATOR_KEYS:
+            raise ReproError(f"unknown generator key {g!r}; choose from "
+                             f"{', '.join(GENERATOR_KEYS)}")
+    if not designs or not gens:
+        raise ReproError("sweep grid is empty")
+    return designs, gens
+
+
+def _cache_summary(cache) -> str:
+    if cache is None:
+        return "cache: disabled"
+    s = cache.stats
+    return (f"cache: {s.hits} hits / {s.misses} misses / {s.stores} stores "
+            f"({cache.root})")
+
+
+def _cmd_sweep(args) -> int:
+    from .parallel import resolve_jobs
+
+    cache = _make_cache(args)
+    ctx = ExperimentContext(cache=cache)
+    designs, gens = _parse_grid(args, ctx)
+    jobs = resolve_jobs(args.jobs)
+    grid = ctx.run_grid(designs, gens, args.vectors, jobs=jobs)
+    for (design, gen_key), result in grid.items():
+        print(f"{design:3s} {result.generator_name:14s} "
+              f"{args.vectors:6d} vectors  "
+              f"{100 * result.coverage():6.2f}%  "
+              f"{result.missed():5d} missed")
+    print(f"jobs={jobs}  {_cache_summary(cache)}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import json
+    import time
+
+    import numpy as np
+
+    from .parallel import resolve_jobs
+    from .parallel.sweep import SweepTask, run_sweep
+
+    cache = _make_cache(args)
+    # coverage_cache off: timed sessions must grade, not load.
+    ctx = ExperimentContext(cache=cache, coverage_cache=False)
+    designs, gens = _parse_grid(args, ctx)
+    jobs = resolve_jobs(args.jobs)
+
+    t0 = time.perf_counter()
+    for d in designs:
+        ctx.universe(d)
+    setup_seconds = time.perf_counter() - t0
+
+    tasks = [SweepTask(design=d, generator=g, n_vectors=args.vectors,
+                       width=ctx.config.generator_width)
+             for d in designs for g in gens]
+
+    t0 = time.perf_counter()
+    serial = run_sweep(ctx, tasks, jobs=1)
+    serial_seconds = time.perf_counter() - t0
+
+    ctx.reset_coverage()
+    t0 = time.perf_counter()
+    parallel = run_sweep(ctx, tasks, jobs=jobs)
+    parallel_seconds = time.perf_counter() - t0
+
+    identical = all(np.array_equal(s.detect_time, p.detect_time)
+                    for s, p in zip(serial, parallel))
+    total_vectors = sum(t.n_vectors for t in tasks)
+    total_faults = sum(r.universe.fault_count for r in serial)
+
+    def rates(seconds: float):
+        return {
+            "seconds": seconds,
+            "vectors_per_sec": total_vectors / seconds if seconds else 0.0,
+            "faults_per_sec": total_faults / seconds if seconds else 0.0,
+            "sessions_per_sec": len(tasks) / seconds if seconds else 0.0,
+        }
+
+    report = {
+        "schema": "repro-bench-parallel/1",
+        "created_unix": time.time(),
+        "config": {
+            "designs": designs,
+            "generators": gens,
+            "vectors": args.vectors,
+            "jobs": jobs,
+            "cache": cache is not None,
+        },
+        "grid": {
+            "sessions": len(tasks),
+            "total_vectors": total_vectors,
+            "total_faults": total_faults,
+        },
+        "setup_seconds": setup_seconds,
+        "serial": rates(serial_seconds),
+        "parallel": dict(rates(parallel_seconds), jobs=jobs),
+        "speedup": (serial_seconds / parallel_seconds
+                    if parallel_seconds else 0.0),
+        "identical": identical,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(f"grid: {len(tasks)} sessions "
+          f"({len(designs)} designs x {len(gens)} generators, "
+          f"{args.vectors} vectors)")
+    print(f"serial:   {serial_seconds:8.2f}s  "
+          f"{report['serial']['vectors_per_sec']:12,.0f} vectors/s  "
+          f"{report['serial']['faults_per_sec']:12,.0f} faults/s")
+    print(f"parallel: {parallel_seconds:8.2f}s  "
+          f"{report['parallel']['vectors_per_sec']:12,.0f} vectors/s  "
+          f"{report['parallel']['faults_per_sec']:12,.0f} faults/s  "
+          f"(jobs={jobs})")
+    print(f"speedup:  {report['speedup']:.2f}x   "
+          f"identical: {identical}   wrote {args.out}")
+
+    if args.check:
+        if not identical:
+            print("bench check FAILED: parallel results differ from serial",
+                  file=sys.stderr)
+            return 1
+        ratio = report["speedup"]
+        if ratio < args.threshold:
+            print(f"bench check FAILED: parallel/serial throughput ratio "
+                  f"{ratio:.2f} below threshold {args.threshold:.2f}",
+                  file=sys.stderr)
+            return 1
+        print(f"bench check passed: ratio {ratio:.2f} >= "
+              f"{args.threshold:.2f}")
+    return 0
+
+
 def _dispatch(args, tel: Optional[Telemetry]) -> int:
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+
     ctx = ExperimentContext()
 
     if args.command == "stats":

@@ -43,3 +43,11 @@ class AnalysisError(ReproError):
 
 class TelemetryError(ReproError):
     """Invalid telemetry instrument, span or sink usage."""
+
+
+class CacheError(ReproError):
+    """Invalid artifact-cache key, payload or store configuration."""
+
+
+class ParallelError(ReproError):
+    """Parallel execution-layer misconfiguration or unrecoverable failure."""

@@ -2,19 +2,30 @@
 
 All tables and figures draw from the same few coverage runs; the
 :class:`ExperimentContext` caches designs, fault universes and coverage
-sessions so a full benchmark sweep builds each once.
+sessions so a full benchmark sweep builds each once.  Give it an
+:class:`~repro.cache.ArtifactCache` (or set ``$REPRO_CACHE_DIR``) and
+the memo tables become cache-backed: a rerun in a fresh process loads
+universes, netlists, golden waveforms and coverage arrays from disk
+instead of recomputing them, and :meth:`ExperimentContext.run_grid`
+fans whole design x generator grids out across worker processes.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..faultsim.dictionary import FaultUniverse, build_fault_universe
 from ..faultsim.engine import CoverageResult, run_fault_coverage
-from ..filters.reference import reference_designs
-from ..generators.base import TestGenerator
+from ..filters.reference import (
+    bandpass_design,
+    highpass_design,
+    lowpass_design,
+)
+from ..generators.base import TestGenerator, match_width
 from ..generators.mixed import MixedModeLfsr
 from ..generators.ramp import RampGenerator
 from ..generators.variants import (
@@ -26,6 +37,12 @@ from ..generators.variants import (
 from ..rtl.build import FilterDesign
 
 __all__ = ["ExperimentConfig", "ExperimentContext", "DEFAULT_CONFIG"]
+
+_DESIGN_BUILDERS = {
+    "LP": lowpass_design,
+    "BP": bandpass_design,
+    "HP": highpass_design,
+}
 
 
 @dataclass(frozen=True)
@@ -58,29 +75,115 @@ DEFAULT_CONFIG = ExperimentConfig()
 
 
 class ExperimentContext:
-    """Caches designs, universes and coverage sessions across experiments."""
+    """Caches designs, universes and coverage sessions across experiments.
 
-    def __init__(self, config: Optional[ExperimentConfig] = None):
+    Parameters
+    ----------
+    config:
+        Experiment knobs; defaults to :meth:`ExperimentConfig.from_env`.
+    cache:
+        Optional :class:`~repro.cache.ArtifactCache`.  When present,
+        every memoized artifact is also persisted content-addressed on
+        disk and reloaded on later runs (in this or any process).
+    jobs:
+        Default worker count for :meth:`run_grid` (``None`` = resolve
+        from ``$REPRO_JOBS`` / CPU count at call time).
+    coverage_cache:
+        When ``False``, coverage sessions are always recomputed even
+        with a cache attached (designs/universes/netlists stay
+        cache-backed) — the knob ``repro bench`` uses so timed sessions
+        measure real grading work.
+    """
+
+    def __init__(self, config: Optional[ExperimentConfig] = None,
+                 cache=None, jobs: Optional[int] = None,
+                 coverage_cache: bool = True):
         self.config = config or ExperimentConfig.from_env()
+        self.cache = cache
+        self.jobs = jobs
+        self.coverage_cache = coverage_cache
         self._designs: Optional[Dict[str, FilterDesign]] = None
         self._universes: Dict[str, FaultUniverse] = {}
+        self._netlists: Dict[str, object] = {}
         self._coverage: Dict[Tuple[str, str, int], CoverageResult] = {}
+
+    @classmethod
+    def from_env(cls, config: Optional[ExperimentConfig] = None
+                 ) -> "ExperimentContext":
+        """A context whose cache follows ``$REPRO_CACHE_DIR`` (if set)."""
+        cache = None
+        if os.environ.get("REPRO_CACHE_DIR"):
+            from ..cache import ArtifactCache
+
+            cache = ArtifactCache()
+        return cls(config=config, cache=cache)
 
     # ------------------------------------------------------------------
     # Designs and fault universes
     # ------------------------------------------------------------------
+    def _build_design(self, name: str) -> FilterDesign:
+        from ..cache import cached_design
+
+        design = cached_design(self.cache, name, _DESIGN_BUILDERS[name])
+        # The JSON snapshot omits the filter spec the figures annotate
+        # with; reattach it for cache-rehydrated designs.
+        if "spec" not in design.extra:
+            from ..filters.design import (
+                BANDPASS_SPEC,
+                HIGHPASS_SPEC,
+                LOWPASS_SPEC,
+            )
+
+            spec = {"LP": LOWPASS_SPEC, "BP": BANDPASS_SPEC,
+                    "HP": HIGHPASS_SPEC}[name]
+            design.extra["spec"] = spec
+            design.kind = spec.kind
+        return design
+
     @property
     def designs(self) -> Dict[str, FilterDesign]:
         if self._designs is None:
-            self._designs = reference_designs()
+            self._designs = {name: self._build_design(name)
+                             for name in _DESIGN_BUILDERS}
         return self._designs
 
     def universe(self, name: str) -> FaultUniverse:
         if name not in self._universes:
-            self._universes[name] = build_fault_universe(
-                self.designs[name].graph, name=name
-            )
+            from ..cache import cached_universe
+
+            design = self.designs[name]
+            self._universes[name] = cached_universe(
+                self.cache, design,
+                lambda: build_fault_universe(design.graph, name=name))
         return self._universes[name]
+
+    def netlist(self, name: str):
+        """The design's elaborated gate netlist (cache-backed)."""
+        if name not in self._netlists:
+            from ..cache import cached_netlist
+            from ..gates.netlist import elaborate
+
+            design = self.designs[name]
+            self._netlists[name] = cached_netlist(
+                self.cache, design, lambda: elaborate(design.graph))
+        return self._netlists[name]
+
+    def golden(self, name: str, generator: TestGenerator,
+               n_vectors: int) -> np.ndarray:
+        """Fault-free gate-level output waveform (cache-backed)."""
+        from ..cache import cached_golden
+
+        design = self.designs[name]
+
+        def compute() -> np.ndarray:
+            from ..gates.gatesim import simulate_netlist
+
+            raw = generator.sequence(n_vectors)
+            raw = match_width(raw, generator.width, design.input_fmt.width)
+            return simulate_netlist(self.netlist(name), raw)["output"]
+
+        return cached_golden(self.cache, design, generator, n_vectors,
+                             compute)
 
     # ------------------------------------------------------------------
     # Generators
@@ -109,14 +212,56 @@ class ExperimentContext:
                              else self.config.table6_switch)
 
     # ------------------------------------------------------------------
-    # Coverage runs (memoized)
+    # Coverage runs (memoized, cache-backed)
     # ------------------------------------------------------------------
     def coverage(self, design_name: str, generator: TestGenerator,
                  n_vectors: int) -> CoverageResult:
         key = (design_name, generator.name, n_vectors)
         if key not in self._coverage:
-            self._coverage[key] = run_fault_coverage(
-                self.designs[design_name], generator, n_vectors,
-                universe=self.universe(design_name),
-            )
+            from ..cache import cached_coverage
+
+            design = self.designs[design_name]
+            universe = self.universe(design_name)
+            self._coverage[key] = cached_coverage(
+                self.cache if self.coverage_cache else None,
+                design, generator, n_vectors, universe,
+                lambda: run_fault_coverage(design, generator, n_vectors,
+                                           universe=universe))
         return self._coverage[key]
+
+    def reset_coverage(self) -> None:
+        """Forget memoized coverage sessions (benchmarking aid)."""
+        self._coverage.clear()
+
+    def adopt_coverage(self, design_name: str, generator_name: str,
+                       n_vectors: int, result: CoverageResult) -> None:
+        """Install an externally graded session into the memo table."""
+        self._coverage[(design_name, generator_name, n_vectors)] = result
+
+    def run_grid(self, design_names: Optional[Sequence[str]] = None,
+                 generator_keys: Optional[Sequence[str]] = None,
+                 n_vectors: Optional[int] = None,
+                 jobs: Optional[int] = None,
+                 timeout: Optional[float] = None
+                 ) -> Dict[Tuple[str, str], CoverageResult]:
+        """Grade a design x generator grid across worker processes.
+
+        Defaults reproduce the Table 4/5 grid: all reference designs,
+        the four standard generators, ``table4_vectors``-long sessions.
+        Every result also lands in the memo table, so the table/figure
+        builders that follow hit it directly.
+        """
+        from ..parallel.sweep import SweepTask, run_sweep
+
+        designs = list(design_names or self.designs)
+        gens = list(generator_keys or self.standard_generators())
+        vectors = n_vectors if n_vectors is not None \
+            else self.config.table4_vectors
+        tasks = [SweepTask(design=d, generator=g, n_vectors=vectors,
+                           width=self.config.generator_width)
+                 for d in designs for g in gens]
+        results = run_sweep(self, tasks,
+                            jobs=self.jobs if jobs is None else jobs,
+                            timeout=timeout)
+        return {(t.design, t.generator): r
+                for t, r in zip(tasks, results)}

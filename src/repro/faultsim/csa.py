@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-import numpy as np
-
 from ..errors import SimulationError
 from ..gates.cells import CellVariant, cell_variant
 from ..generators.base import TestGenerator, match_width

@@ -29,7 +29,8 @@ from ..telemetry import get_telemetry
 from .dictionary import DesignFault, FaultUniverse, build_fault_universe
 from .patterns import UNSEEN, PatternTracker, track_patterns
 
-__all__ = ["CoverageResult", "run_fault_coverage", "coverage_of_tracker"]
+__all__ = ["CoverageResult", "run_fault_coverage", "coverage_of_tracker",
+           "coverage_from_detect_times"]
 
 #: Detection-latency histogram buckets, in vectors (powers of two).
 LATENCY_EDGES = tuple(float(1 << k) for k in range(0, 17, 2))
@@ -121,6 +122,35 @@ def coverage_of_tracker(
         universe=universe,
         detect_time=detect,
         n_vectors=tracker.vectors_seen,
+    )
+
+
+def coverage_from_detect_times(
+    universe: FaultUniverse,
+    detect_time: np.ndarray,
+    n_vectors: int,
+    design_name: str = "",
+    generator_name: str = "",
+) -> CoverageResult:
+    """Rehydrate a session from its per-fault detection times.
+
+    Used by the parallel sweep (workers ship bare arrays) and the
+    artifact cache (results are stored as arrays); validates the array
+    against the universe so a mismatched pairing fails loudly.
+    """
+    detect = np.asarray(detect_time, dtype=np.int64)
+    if detect.ndim != 1 or len(detect) != universe.fault_count:
+        raise SimulationError(
+            f"detect_time has shape {detect.shape} but universe "
+            f"{universe.design_name!r} holds {universe.fault_count} faults")
+    if n_vectors <= 0:
+        raise SimulationError("n_vectors must be positive")
+    return CoverageResult(
+        design_name=design_name or universe.design_name,
+        generator_name=generator_name,
+        universe=universe,
+        detect_time=detect,
+        n_vectors=int(n_vectors),
     )
 
 

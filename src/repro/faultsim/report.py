@@ -70,7 +70,9 @@ def testability_report(design, result: CoverageResult, model=None,
     sigma_fn = None
     if model is not None:
         from ..analysis.variance import predicted_sigma_at_tap
-        sigma_fn = lambda t: predicted_sigma_at_tap(design, t, model)
+
+        def sigma_fn(t):
+            return predicted_sigma_at_tap(design, t, model)
     for tap in design.taps:
         ops = tap.operators
         faults = sum(total_by_node[nid] for nid in ops)

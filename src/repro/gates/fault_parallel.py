@@ -178,10 +178,9 @@ def _fault_parallel_body(
         reads[net] -= 1
         if reads[net] == 0:
             del values[net]
-    out = np.zeros(len(faults), dtype=bool)
-    for j in range(len(faults)):
-        out[j] = bool(int(detected) & (1 << j))
-    return out
+    # Unpack the detected word: bit j of `detected` is copy j's verdict.
+    lanes = np.arange(len(faults), dtype=np.uint64)
+    return ((detected >> lanes) & np.uint64(1)).astype(bool)
 
 
 def gate_level_missed(

@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-import numpy as np
-
 from ..rtl.graph import Graph
 from ..rtl.nodes import OpKind
 from .cells import CellFault, variant_for_bit

@@ -1,0 +1,39 @@
+"""Deterministic per-task seed derivation.
+
+Every fan-out task gets a seed that is a pure function of the base seed
+and the task's identity — never of scheduling order, worker identity or
+wall clock — so a grid graded across 16 workers is bit-identical to the
+same grid graded serially, and to itself on every rerun.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Union
+
+__all__ = ["derive_seed", "task_seeds", "DEFAULT_BASE_SEED"]
+
+#: The package-wide base seed (the paper's publication year).
+DEFAULT_BASE_SEED = 1997
+
+_Component = Union[int, str]
+
+
+def derive_seed(base_seed: int, *components: _Component) -> int:
+    """A 63-bit seed derived from ``base_seed`` and task identity.
+
+    SHA-256 over the canonical rendering of all components; collisions
+    between distinct tasks are cryptographically negligible and the
+    result is stable across platforms and Python versions.
+    """
+    h = hashlib.sha256()
+    h.update(str(int(base_seed)).encode("ascii"))
+    for comp in components:
+        h.update(b"\x1f")
+        h.update(str(comp).encode("utf-8"))
+    return int.from_bytes(h.digest()[:8], "big") & ((1 << 63) - 1)
+
+
+def task_seeds(base_seed: int, n: int, label: str = "") -> List[int]:
+    """Independent seeds for ``n`` indexed tasks under one label."""
+    return [derive_seed(base_seed, label, i) for i in range(n)]

@@ -52,8 +52,8 @@ class ZoneTracer:
         self.beta = beta
         zones = test_zones(beta)
         self.labels: List[str] = list(zones)
-        self._lo = np.array([zones[l][0] for l in self.labels])
-        self._hi = np.array([zones[l][1] for l in self.labels])
+        self._lo = np.array([zones[lab][0] for lab in self.labels])
+        self._hi = np.array([zones[lab][1] for lab in self.labels])
         self.nodes = set(int(n) for n in nodes)
         if not self.nodes:
             raise TelemetryError("ZoneTracer needs at least one node id")
