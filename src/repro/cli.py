@@ -11,6 +11,7 @@ Commands
 ``profile``   Profile a BIST session: span tree, rates, test-zone hits.
 ``sweep``     Parallel design x generator coverage grid (cache-backed).
 ``bench``     Serial-vs-parallel throughput benchmark -> JSON report.
+``serve``     Run the async BIST evaluation service (HTTP + JSON).
 
 Global flags: ``--version``, ``-v/--verbose`` (repeatable),
 ``--profile`` (log a telemetry summary for any command) and
@@ -37,14 +38,13 @@ from .experiments.render import series_block
 from .faultsim import run_fault_coverage
 from .faultsim.report import coverage_summary, missed_fault_map
 from .filters import design_statistics
-from .generators import (
-    DecorrelatedLfsr,
-    MaxVarianceLfsr,
-    MixedModeLfsr,
-    RampGenerator,
-    Type1Lfsr,
-    Type2Lfsr,
-    UniformWhiteGenerator,
+from .resolve import (
+    GENERATOR_CHOICES,
+    SWEEP_GENERATOR_KEYS,
+    make_generator,
+    resolve_design,
+    resolve_generator,
+    resolve_names,
 )
 from .telemetry import (
     JsonlSink,
@@ -55,7 +55,7 @@ from .telemetry import (
     set_telemetry,
 )
 
-__all__ = ["main"]
+__all__ = ["main", "GENERATOR_CHOICES", "make_generator"]
 
 logger = logging.getLogger("repro.cli")
 
@@ -63,10 +63,6 @@ _TABLES = {1: table1, 2: table2, 3: table3, 4: table4, 5: table5, 6: table6}
 _FIGURES = {1: figure1, 2: figure2, 3: figure3, 4: figure4, 5: figure5,
             6: figure6, 7: figure7, 8: figure8, 9: figure9, 10: figure10,
             11: figure11, 12: figure12, 13: figure13}
-
-GENERATOR_CHOICES = ("lfsr1", "lfsr2", "lfsrd", "lfsrm", "ramp", "mixed",
-                     "white")
-
 
 def package_version() -> str:
     """The installed package version (falls back to ``repro.__version__``)."""
@@ -78,25 +74,6 @@ def package_version() -> str:
         from . import __version__
 
         return __version__
-
-
-def make_generator(kind: str, width: int, vectors: int):
-    """Instantiate a generator by its CLI name."""
-    if kind == "lfsr1":
-        return Type1Lfsr(width)
-    if kind == "lfsr2":
-        return Type2Lfsr(width)
-    if kind == "lfsrd":
-        return DecorrelatedLfsr(width)
-    if kind == "lfsrm":
-        return MaxVarianceLfsr(width)
-    if kind == "ramp":
-        return RampGenerator(width)
-    if kind == "mixed":
-        return MixedModeLfsr(width, switch_after=vectors // 2)
-    if kind == "white":
-        return UniformWhiteGenerator(width)
-    raise ReproError(f"unknown generator {kind!r}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -118,10 +95,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("stats", help="design statistics (Table 1)")
 
+    # Design/generator names are validated by the shared resolver at
+    # dispatch (one-line error + exit 2), not by argparse choices=, so
+    # aliases like "lfsr-1" work and the error message is uniform.
     grade = sub.add_parser("grade", help="run a BIST session")
-    grade.add_argument("--design", choices=("LP", "BP", "HP"), default="LP")
-    grade.add_argument("--generator", choices=GENERATOR_CHOICES,
-                       default="lfsr1")
+    grade.add_argument("--design", default="LP", metavar="{LP,BP,HP}")
+    grade.add_argument("--generator", default="lfsr1",
+                       metavar="{" + ",".join(GENERATOR_CHOICES) + "}")
     grade.add_argument("--vectors", type=int, default=4096)
     grade.add_argument("--width", type=int, default=12)
     grade.add_argument("--map", action="store_true",
@@ -130,12 +110,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also print the per-tap testability report")
 
     rank = sub.add_parser("rank", help="rank generators against a design")
-    rank.add_argument("--design", choices=("LP", "BP", "HP"), default="LP")
+    rank.add_argument("--design", default="LP", metavar="{LP,BP,HP}")
     rank.add_argument("--vectors", type=int, default=4096)
 
     spectrum = sub.add_parser("spectrum", help="print a generator spectrum")
-    spectrum.add_argument("--generator", choices=GENERATOR_CHOICES,
-                          default="lfsr1")
+    spectrum.add_argument("--generator", default="lfsr1",
+                          metavar="{" + ",".join(GENERATOR_CHOICES) + "}")
     spectrum.add_argument("--width", type=int, default=12)
     spectrum.add_argument("--points", type=int, default=24)
 
@@ -160,8 +140,8 @@ def _build_parser() -> argparse.ArgumentParser:
     profile = sub.add_parser(
         "profile",
         help="profile a BIST session: span tree, vectors/sec, zone hits")
-    profile.add_argument("design", choices=("LP", "BP", "HP"))
-    profile.add_argument("generator", choices=GENERATOR_CHOICES)
+    profile.add_argument("design", metavar="design")
+    profile.add_argument("generator", metavar="generator")
     profile.add_argument("--vectors", type=int, default=4096)
     profile.add_argument("--width", type=int, default=12)
     profile.add_argument("--beta", type=float, default=0.25,
@@ -200,6 +180,41 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--threshold", type=float, default=1.0,
                        help="minimum acceptable parallel/serial throughput "
                             "ratio for --check (default 1.0)")
+    bench.add_argument("--now", default=None, metavar="WHEN",
+                       help="timestamp recorded as created_unix: a unix "
+                            "float or ISO-8601 datetime (default: "
+                            "$REPRO_BENCH_NOW, else the wall clock); "
+                            "pin it for reproducible report diffs")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async BIST evaluation service (HTTP + JSON)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8337,
+                       help="listen port (0 = pick an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="async worker tasks draining the queue")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="max queued jobs before 429 backpressure")
+    serve.add_argument("--batch-max", type=int, default=8,
+                       help="max same-kind jobs fused into one batch")
+    serve.add_argument("--result-ttl", type=float, default=600.0,
+                       help="seconds finished jobs stay pollable")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="per-client submissions/sec (0 = unlimited)")
+    serve.add_argument("--burst", type=float, default=0.0,
+                       help="per-client burst size (0 = 2x --rate)")
+    serve.add_argument("--drain-deadline", type=float, default=20.0,
+                       help="seconds to finish in-flight jobs on shutdown")
+    serve.add_argument("--grid-jobs", type=int, default=None,
+                       help="process-pool width for batched grade jobs")
+    serve.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="artifact cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk artifact cache")
+    serve.add_argument("--access-log", default=None, metavar="PATH",
+                       help="append per-request JSON Lines records to PATH")
     return parser
 
 
@@ -221,10 +236,12 @@ def _configure_logging(verbosity: int, force_info: bool = False) -> None:
 
 def _cmd_profile(args, ctx: ExperimentContext, tel: Telemetry) -> int:
     """The ``profile`` command: one instrumented coverage session."""
-    with tel.span("profile.setup", design=args.design):
-        design = ctx.designs[args.design]
-        universe = ctx.universe(args.design)
-    gen = make_generator(args.generator, args.width, args.vectors)
+    name = resolve_design(args.design)
+    with tel.span("profile.setup", design=name):
+        design = ctx.designs[name]
+        universe = ctx.universe(name)
+    gen = make_generator(resolve_generator(args.generator),
+                         args.width, args.vectors)
     tracer = ZoneTracer.for_design(design, beta=args.beta)
     result = run_fault_coverage(design, gen, args.vectors, universe=universe,
                                 zone_tracer=tracer)
@@ -252,20 +269,12 @@ def _make_cache(args):
     return ArtifactCache(args.cache_dir)
 
 
-def _parse_grid(args, ctx: ExperimentContext):
+def _parse_grid(args):
     """Validated (designs, generator keys) lists for sweep/bench."""
-    from .parallel import GENERATOR_KEYS
+    from .resolve import resolve_generator_key
 
-    designs = [d.strip() for d in args.designs.split(",") if d.strip()]
-    gens = [g.strip() for g in args.generators.split(",") if g.strip()]
-    for d in designs:
-        if d not in ctx.designs:
-            raise ReproError(f"unknown design {d!r}; choose from "
-                             f"{', '.join(sorted(ctx.designs))}")
-    for g in gens:
-        if g not in GENERATOR_KEYS:
-            raise ReproError(f"unknown generator key {g!r}; choose from "
-                             f"{', '.join(GENERATOR_KEYS)}")
+    designs = resolve_names(args.designs, resolve_design)
+    gens = resolve_names(args.generators, resolve_generator_key)
     if not designs or not gens:
         raise ReproError("sweep grid is empty")
     return designs, gens
@@ -282,9 +291,9 @@ def _cache_summary(cache) -> str:
 def _cmd_sweep(args) -> int:
     from .parallel import resolve_jobs
 
+    designs, gens = _parse_grid(args)  # fail fast on bad names
     cache = _make_cache(args)
     ctx = ExperimentContext(cache=cache)
-    designs, gens = _parse_grid(args, ctx)
     jobs = resolve_jobs(args.jobs)
     grid = ctx.run_grid(designs, gens, args.vectors, jobs=jobs)
     for (design, gen_key), result in grid.items():
@@ -296,6 +305,33 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _bench_now(args) -> float:
+    """The timestamp recorded in the bench report.
+
+    ``--now`` (or ``$REPRO_BENCH_NOW``) pins it — as a unix float or an
+    ISO-8601 datetime — so re-runs produce byte-comparable reports.
+    """
+    import os
+    import time as _time
+
+    raw = args.now if args.now is not None else os.environ.get(
+        "REPRO_BENCH_NOW")
+    if raw is None:
+        return _time.time()
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    from datetime import datetime
+
+    try:
+        return datetime.fromisoformat(raw).timestamp()
+    except ValueError:
+        raise ReproError(
+            f"--now must be a unix timestamp or ISO-8601 datetime, "
+            f"got {raw!r}") from None
+
+
 def _cmd_bench(args) -> int:
     import json
     import time
@@ -305,10 +341,10 @@ def _cmd_bench(args) -> int:
     from .parallel import resolve_jobs
     from .parallel.sweep import SweepTask, run_sweep
 
+    designs, gens = _parse_grid(args)  # fail fast on bad names
     cache = _make_cache(args)
     # coverage_cache off: timed sessions must grade, not load.
     ctx = ExperimentContext(cache=cache, coverage_cache=False)
-    designs, gens = _parse_grid(args, ctx)
     jobs = resolve_jobs(args.jobs)
 
     t0 = time.perf_counter()
@@ -344,7 +380,7 @@ def _cmd_bench(args) -> int:
 
     report = {
         "schema": "repro-bench-parallel/1",
-        "created_unix": time.time(),
+        "created_unix": _bench_now(args),
         "config": {
             "designs": designs,
             "generators": gens,
@@ -397,11 +433,45 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service import EvaluationService, ServiceConfig
+    from .telemetry import RequestLogSink, get_telemetry
+
+    config = ServiceConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_depth=args.queue_depth, batch_max=args.batch_max,
+        result_ttl=args.result_ttl, rate=args.rate, burst=args.burst,
+        drain_deadline=args.drain_deadline, grid_jobs=args.grid_jobs,
+        cache_dir=args.cache_dir, no_cache=args.no_cache,
+        access_log=args.access_log)
+
+    telemetry = None
+    if args.access_log:
+        # The service needs its own collector even when --profile is
+        # off: the access log rides on 'request' telemetry events.
+        sink = RequestLogSink(args.access_log)
+        try:
+            sink.open()
+        except OSError as exc:
+            print(f"repro: cannot open access log: {exc}", file=sys.stderr)
+            return 2
+        current = get_telemetry()
+        if isinstance(current, Telemetry):
+            current.sinks.append(sink)  # --profile/--trace-out is active
+        else:
+            telemetry = Telemetry(sinks=[sink])
+
+    EvaluationService(config, telemetry=telemetry).run()
+    return 0
+
+
 def _dispatch(args, tel: Optional[Telemetry]) -> int:
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
 
     ctx = ExperimentContext()
 
@@ -415,10 +485,12 @@ def _dispatch(args, tel: Optional[Telemetry]) -> int:
         return 0
 
     if args.command == "grade":
-        design = ctx.designs[args.design]
-        gen = make_generator(args.generator, args.width, args.vectors)
+        name = resolve_design(args.design)
+        design = ctx.designs[name]
+        gen = make_generator(resolve_generator(args.generator),
+                             args.width, args.vectors)
         result = run_fault_coverage(design, gen, args.vectors,
-                                    universe=ctx.universe(args.design))
+                                    universe=ctx.universe(name))
         print(coverage_summary(result))
         if args.map:
             print(missed_fault_map(result))
@@ -428,8 +500,9 @@ def _dispatch(args, tel: Optional[Telemetry]) -> int:
         return 0
 
     if args.command == "rank":
-        design = ctx.designs[args.design]
-        print(f"compatibility with {args.design}:")
+        name = resolve_design(args.design)
+        design = ctx.designs[name]
+        print(f"compatibility with {name}:")
         for r in rank_generators(design):
             print(f"  {r.generator.name:12s} {r.rating}  {r.ratio:7.3f}")
         scheme = propose_scheme(design, n_vectors=args.vectors)
@@ -437,7 +510,8 @@ def _dispatch(args, tel: Optional[Telemetry]) -> int:
         return 0
 
     if args.command == "spectrum":
-        gen = make_generator(args.generator, args.width, 4096)
+        gen = make_generator(resolve_generator(args.generator),
+                             args.width, 4096)
         freqs, power = generator_spectrum(gen)
         step = max(1, len(freqs) // args.points)
         print(series_block(freqs[::step], power_db(power[::step]),
@@ -466,14 +540,15 @@ def _dispatch(args, tel: Optional[Telemetry]) -> int:
         return 0
 
     if args.command == "export":
-        design = ctx.designs[args.design]
+        name = resolve_design(args.design)
+        design = ctx.designs[name]
         if args.format == "json":
             from .rtl import save_design
             save_design(design, args.out)
         else:
             from .gates import elaborate, save_verilog
             save_verilog(elaborate(design.graph), args.out,
-                         module_name=f"{args.design.lower()}_cut")
+                         module_name=f"{name.lower()}_cut")
         print(f"wrote {args.out}")
         return 0
 
@@ -512,6 +587,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         return _dispatch(args, tel)
+    except ReproError as exc:
+        # One-line diagnosis (unknown design/generator names, bad grid
+        # specs, ...) instead of a traceback; exit code 2 like argparse.
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
     finally:
         if profiling:
             set_telemetry(previous)

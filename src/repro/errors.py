@@ -51,3 +51,21 @@ class CacheError(ReproError):
 
 class ParallelError(ReproError):
     """Parallel execution-layer misconfiguration or unrecoverable failure."""
+
+
+class ServiceError(ReproError):
+    """Evaluation-service failure (invalid request, overload, shutdown).
+
+    ``status`` is the HTTP status the service maps the error to;
+    ``retry_after`` (seconds), when set, becomes a ``Retry-After``
+    header so well-behaved clients can back off precisely.
+    """
+
+    status = 500
+
+    def __init__(self, message: str, status: "int | None" = None,
+                 retry_after: "float | None" = None):
+        super().__init__(message)
+        if status is not None:
+            self.status = status
+        self.retry_after = retry_after

@@ -1,0 +1,148 @@
+"""Shared name resolution for designs and generators.
+
+The CLI, the evaluation service and the examples all accept design and
+generator names from the outside world.  This module is the single
+place that turns those strings into canonical keys, with one behaviour
+everywhere: an unknown name raises :class:`UnknownNameError`, whose
+message is a single line listing the valid choices.  The CLI prints
+that line and exits 2; the service returns it as an HTTP 400.
+
+Two generator namespaces exist historically — the lowercase CLI
+spellings (``lfsr1``, ``lfsrd``, ...) and the paper's sweep keys
+(``LFSR-1``, ``LFSR-D``, ...).  Both resolvers accept either spelling,
+case-insensitively, and return the canonical form of their namespace.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .errors import ReproError
+
+__all__ = [
+    "DESIGN_NAMES",
+    "GENERATOR_CHOICES",
+    "SWEEP_GENERATOR_KEYS",
+    "UnknownNameError",
+    "make_generator",
+    "resolve_design",
+    "resolve_generator",
+    "resolve_generator_key",
+    "resolve_names",
+]
+
+#: The Table 1 reference designs.
+DESIGN_NAMES: Tuple[str, ...] = ("LP", "BP", "HP")
+
+#: Canonical CLI generator spellings (``grade``/``spectrum``/``profile``).
+GENERATOR_CHOICES: Tuple[str, ...] = ("lfsr1", "lfsr2", "lfsrd", "lfsrm",
+                                      "ramp", "mixed", "white")
+
+#: Canonical sweep keys (``sweep``/``bench``/service grids, Tables 4-6).
+SWEEP_GENERATOR_KEYS: Tuple[str, ...] = ("LFSR-1", "LFSR-2", "LFSR-D",
+                                         "LFSR-M", "Ramp", "Mixed")
+
+#: lowercase alias -> canonical CLI spelling.
+_CLI_ALIASES = {
+    "lfsr-1": "lfsr1", "lfsr-2": "lfsr2", "lfsr-d": "lfsrd",
+    "lfsr-m": "lfsrm",
+}
+
+#: canonical CLI spelling -> sweep key (``white`` has no sweep key: the
+#: white-noise source is not one of the paper's hardware generators).
+_CLI_TO_SWEEP = {
+    "lfsr1": "LFSR-1", "lfsr2": "LFSR-2", "lfsrd": "LFSR-D",
+    "lfsrm": "LFSR-M", "ramp": "Ramp", "mixed": "Mixed",
+}
+
+
+class UnknownNameError(ReproError):
+    """An externally supplied name that resolves to nothing.
+
+    Carries the offending name and the valid choices so front-ends can
+    re-render the message; ``str()`` is already the one-line form.
+    """
+
+    def __init__(self, kind: str, name: object, choices: Sequence[str]):
+        self.kind = kind
+        self.name = name
+        self.choices = tuple(choices)
+        super().__init__(f"unknown {kind} {name!r}; "
+                         f"valid choices: {', '.join(self.choices)}")
+
+
+def resolve_design(name: object) -> str:
+    """Canonical design name (``"lp"`` -> ``"LP"``), or raise."""
+    cand = str(name).strip().upper()
+    if cand in DESIGN_NAMES:
+        return cand
+    raise UnknownNameError("design", name, sorted(DESIGN_NAMES))
+
+
+def resolve_generator(name: object) -> str:
+    """Canonical CLI generator spelling (``"LFSR-1"`` -> ``"lfsr1"``)."""
+    cand = str(name).strip().lower()
+    cand = _CLI_ALIASES.get(cand, cand)
+    if cand in GENERATOR_CHOICES:
+        return cand
+    raise UnknownNameError("generator", name, GENERATOR_CHOICES)
+
+
+def resolve_generator_key(name: object) -> str:
+    """Canonical sweep key (``"lfsr1"`` -> ``"LFSR-1"``), or raise."""
+    try:
+        cand = resolve_generator(name)
+    except UnknownNameError:
+        raise UnknownNameError("generator", name,
+                               SWEEP_GENERATOR_KEYS) from None
+    key = _CLI_TO_SWEEP.get(cand)
+    if key is None:  # e.g. "white": valid CLI spelling, not a sweep key
+        raise UnknownNameError("generator", name, SWEEP_GENERATOR_KEYS)
+    return key
+
+
+def resolve_names(raw: str, resolver) -> List[str]:
+    """Resolve a comma-separated list through ``resolver``, dropping
+    empty items and duplicates while preserving order."""
+    out: List[str] = []
+    for token in str(raw).split(","):
+        token = token.strip()
+        if not token:
+            continue
+        name = resolver(token)
+        if name not in out:
+            out.append(name)
+    return out
+
+
+def make_generator(kind: str, width: int, vectors: int):
+    """Instantiate a generator by any accepted spelling.
+
+    ``vectors`` sets the mixed generator's switch point (halfway, the
+    paper's Section 9 recipe).
+    """
+    from .generators import (
+        DecorrelatedLfsr,
+        MaxVarianceLfsr,
+        MixedModeLfsr,
+        RampGenerator,
+        Type1Lfsr,
+        Type2Lfsr,
+        UniformWhiteGenerator,
+    )
+
+    kind = resolve_generator(kind)
+    if kind == "lfsr1":
+        return Type1Lfsr(width)
+    if kind == "lfsr2":
+        return Type2Lfsr(width)
+    if kind == "lfsrd":
+        return DecorrelatedLfsr(width)
+    if kind == "lfsrm":
+        return MaxVarianceLfsr(width)
+    if kind == "ramp":
+        return RampGenerator(width)
+    if kind == "mixed":
+        return MixedModeLfsr(width, switch_after=max(1, vectors // 2))
+    assert kind == "white"
+    return UniformWhiteGenerator(width)

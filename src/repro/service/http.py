@@ -1,0 +1,247 @@
+"""Minimal stdlib HTTP/1.1 layer for the evaluation service.
+
+Implemented straight on :func:`asyncio.start_server` streams — no
+framework, no dependencies — because the API surface is small and the
+hard problems (queueing, fairness, shutdown) live elsewhere.  One
+request per connection (responses carry ``Connection: close``), bodies
+and responses are JSON.
+
+Routes
+------
+``POST   /v1/jobs``             submit (rank | grade | spectrum | serious-fault)
+``GET    /v1/jobs/{id}``        poll; ``?wait=SECONDS`` long-polls
+``GET    /v1/jobs/{id}/result`` the result document alone
+``DELETE /v1/jobs/{id}``        cancel a queued job
+``GET    /healthz``             liveness (always 200 while the process runs)
+``GET    /readyz``              readiness (503 while warming or draining)
+``GET    /metrics``             telemetry counters/gauges/histograms as JSON
+
+Error envelope: ``{"error": "...", "status": N}``; 429/503 responses
+carry a ``Retry-After`` header.  Every served request is emitted as a
+``request`` telemetry event — the access log when a
+:class:`~repro.telemetry.sinks.RequestLogSink` is attached.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import re
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..errors import ReproError, ServiceError
+from ..telemetry import get_telemetry
+from .jobs import JobState
+
+__all__ = ["HttpApi"]
+
+logger = logging.getLogger("repro.service")
+
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 1 << 20
+
+_STATUS_TEXT = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout", 409: "Conflict",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+_JOB_PATH = re.compile(r"/v1/jobs/([A-Za-z0-9_.-]+)(/result)?")
+
+#: (status, payload, extra headers) triple every handler returns.
+Reply = Tuple[int, Dict[str, Any], Dict[str, str]]
+
+
+class _HttpError(ServiceError):
+    """Protocol-level failure with a definite status code."""
+
+
+def _error_reply(status: int, message: str,
+                 retry_after: Optional[float] = None) -> Reply:
+    headers: Dict[str, str] = {}
+    if retry_after is not None:
+        headers["Retry-After"] = f"{max(0.0, retry_after):.0f}" \
+            if retry_after >= 1 else "1"
+    return status, {"error": message, "status": status}, headers
+
+
+class HttpApi:
+    """Parses requests, routes them into the service, logs each one."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        clock = self.service.store.clock
+        t0 = clock()
+        method = path = "-"
+        client = None
+        status = 500
+        cache_state: Optional[str] = None
+        try:
+            try:
+                method, target, headers, body = await self._read_request(
+                    reader)
+            except _HttpError as exc:
+                status, payload, extra = _error_reply(exc.status, str(exc))
+                await self._respond(writer, status, payload, extra)
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return  # client went away mid-request
+            split = urlsplit(target)
+            path = split.path
+            query = parse_qs(split.query)
+            client = headers.get("x-repro-client")
+            try:
+                status, payload, extra = await self._route(
+                    method, path, query, headers, body)
+            except ServiceError as exc:
+                status, payload, extra = _error_reply(
+                    exc.status, str(exc), exc.retry_after)
+            except ReproError as exc:
+                status, payload, extra = _error_reply(400, str(exc))
+            except Exception:
+                logger.exception("unhandled error serving %s %s",
+                                 method, path)
+                status, payload, extra = _error_reply(
+                    500, "internal server error")
+            cache_state = extra.pop("x-repro-cache", None)
+            await self._respond(writer, status, payload, extra)
+        finally:
+            writer.close()
+            tel = get_telemetry()
+            if tel.enabled:
+                record: Dict[str, Any] = {
+                    "route": path, "method": method, "status": status,
+                    "latency_ms": round(1000 * (clock() - t0), 3),
+                }
+                if client:
+                    record["client"] = client
+                if cache_state:
+                    record["cache"] = cache_state
+                tel.event("request", **record)
+                tel.counter("service.requests").add(1)
+                tel.counter(f"service.requests.{status}").add(1)
+                tel.histogram("service.request_seconds").observe(
+                    max(0.0, clock() - t0))
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Tuple[str, str, Dict[str, str], bytes]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise _HttpError("headers too large", status=413) from None
+        if len(head) > MAX_HEADER_BYTES:
+            raise _HttpError("headers too large", status=413)
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+            raise _HttpError(f"malformed request line {lines[0]!r}",
+                             status=400)
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = 0
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                raise _HttpError("bad Content-Length", status=400) from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpError("request body too large", status=413)
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: Dict[str, Any],
+                       extra: Optional[Dict[str, str]] = None) -> None:
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        reason = _STATUS_TEXT.get(status, "Unknown")
+        head = [f"HTTP/1.1 {status} {reason}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(data)}",
+                "Connection: close"]
+        for name, value in (extra or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                     + data)
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(self, method: str, path: str,
+                     query: Dict[str, list], headers: Dict[str, str],
+                     body: bytes) -> Reply:
+        if path == "/healthz":
+            return self.service.healthz()
+        if path == "/readyz":
+            return self.service.readyz()
+        if path == "/metrics":
+            return self.service.metrics()
+        if path == "/v1/jobs":
+            if method != "POST":
+                return _error_reply(405, f"{method} not allowed on {path}")
+            return self.service.submit(self._json_body(body), headers)
+        m = _JOB_PATH.fullmatch(path)
+        if m:
+            job_id, want_result = m.group(1), bool(m.group(2))
+            if method == "GET" and not want_result:
+                return await self.service.poll(job_id, query)
+            if method == "GET":
+                return self.service.result(job_id)
+            if method == "DELETE" and not want_result:
+                return self.service.cancel(job_id)
+            return _error_reply(405, f"{method} not allowed on {path}")
+        return _error_reply(404, f"no route for {path}")
+
+    @staticmethod
+    def _json_body(body: bytes) -> Dict[str, Any]:
+        if not body:
+            return {}
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(f"invalid JSON body: {exc}",
+                             status=400) from None
+        if not isinstance(doc, dict):
+            raise _HttpError("JSON body must be an object", status=400)
+        return doc
+
+
+def job_reply(job, status: int = 200, *,
+              cache: Optional[str] = None) -> Reply:
+    """A job snapshot as a handler reply (shared by several routes)."""
+    headers: Dict[str, str] = {}
+    if cache is not None:
+        headers["x-repro-cache"] = cache  # consumed by the access log
+    return status, job.to_dict(), headers
+
+
+def result_reply(job) -> Reply:
+    """The ``/result`` document, or the right error for its state."""
+    if job.state is JobState.DONE:
+        return 200, {"id": job.id, "result": job.result}, {}
+    if job.state is JobState.FAILED:
+        return 200, {"id": job.id, "error": job.error,
+                     "state": job.state.value}, {}
+    if job.state is JobState.CANCELLED:
+        return 409, {"id": job.id, "state": job.state.value,
+                     "error": "job was cancelled"}, {}
+    return 409, {"id": job.id, "state": job.state.value,
+                 "error": "job has not finished"}, {}

@@ -1,0 +1,272 @@
+"""Job model and store for the evaluation service.
+
+A :class:`Job` is one client request — rank, grade, spectrum or
+serious-fault — flowing through the states ``queued -> running ->
+done | failed | cancelled``.  Parameters are validated and
+canonicalized at admission (:func:`canonical_params`), so everything
+downstream — the queue, the coalescer, the workers — sees one spelling
+per request, and the job's :attr:`~Job.cache_key` (a
+:func:`~repro.cache.keys.stable_hash` over kind + canonical params) is
+the coalescing identity: two jobs with equal keys are the same
+computation.
+
+The :class:`JobStore` owns every job the service has admitted,
+deduplicates on client idempotency keys, and retains finished jobs for
+a TTL so clients can poll results after completion without the store
+growing without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..cache.keys import stable_hash
+from ..errors import ServiceError
+from ..resolve import resolve_design, resolve_generator, resolve_generator_key
+
+__all__ = ["Job", "JobState", "JobStore", "JOB_KINDS", "BATCHABLE_KINDS",
+           "PRIORITIES", "canonical_params"]
+
+#: Request kinds the service evaluates (ISSUE terminology: spectrum
+#: ranking per Table 3 is ``rank``, fault grading per Tables 4-5 is
+#: ``grade``, serious-fault checks per Figures 2-3 are ``serious-fault``).
+JOB_KINDS = ("rank", "grade", "spectrum", "serious-fault")
+
+#: Kinds whose requests are small enough that the worker pool batches
+#: several queued ones into a single executor pass.
+BATCHABLE_KINDS = ("rank", "grade", "spectrum")
+
+#: Priority names -> scheduling levels (lower level drains first).
+PRIORITIES = {"high": 0, "normal": 1, "low": 2}
+_PRIORITY_NAMES = {v: k for k, v in PRIORITIES.items()}
+
+#: Admission-time guard rails on request sizes.
+MAX_VECTORS = 1 << 18
+MAX_WIDTH = 24
+MIN_WIDTH = 4
+MAX_POINTS = 1 << 14
+
+
+class JobState(str, Enum):
+    """Lifecycle states of a job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def finished(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+def _int_param(params: Dict[str, Any], name: str, default: int,
+               lo: int, hi: int) -> int:
+    raw = params.pop(name, default)
+    try:
+        value = int(raw)
+    except (TypeError, ValueError):
+        raise ServiceError(f"parameter {name!r} must be an integer, "
+                           f"got {raw!r}", status=400) from None
+    if not lo <= value <= hi:
+        raise ServiceError(f"parameter {name!r} must be in [{lo}, {hi}], "
+                           f"got {value}", status=400)
+    return value
+
+
+def canonical_params(kind: str, params: Optional[Dict[str, Any]]
+                     ) -> Dict[str, Any]:
+    """Validate and canonicalize a request's parameters.
+
+    Raises :class:`~repro.errors.ServiceError` (status 400) on unknown
+    kinds, unknown parameter names, out-of-range values, and unknown
+    design/generator names (via the shared resolver, so the message
+    lists the valid choices).
+    """
+    if kind not in JOB_KINDS:
+        raise ServiceError(f"unknown job kind {kind!r}; "
+                           f"valid choices: {', '.join(JOB_KINDS)}",
+                           status=400)
+    params = dict(params or {})
+    out: Dict[str, Any] = {}
+    if kind == "rank":
+        out["design"] = resolve_design(params.pop("design", "LP"))
+        out["vectors"] = _int_param(params, "vectors", 4096, 2, MAX_VECTORS)
+    elif kind == "grade":
+        out["design"] = resolve_design(params.pop("design", "LP"))
+        out["generator"] = resolve_generator_key(
+            params.pop("generator", "LFSR-1"))
+        out["vectors"] = _int_param(params, "vectors", 4096, 1, MAX_VECTORS)
+        out["width"] = _int_param(params, "width", 12, MIN_WIDTH, MAX_WIDTH)
+    elif kind == "spectrum":
+        out["generator"] = resolve_generator(params.pop("generator", "lfsr1"))
+        out["width"] = _int_param(params, "width", 12, MIN_WIDTH, MAX_WIDTH)
+        out["points"] = _int_param(params, "points", 64, 1, MAX_POINTS)
+    else:  # serious-fault: the Figures 2-3 demonstration has no knobs
+        pass
+    if params:
+        raise ServiceError(
+            f"unknown parameter(s) for kind {kind!r}: "
+            f"{', '.join(sorted(map(str, params)))}", status=400)
+    return out
+
+
+@dataclass
+class Job:
+    """One admitted request and everything known about it."""
+
+    id: str
+    kind: str
+    params: Dict[str, Any]
+    client: str
+    priority: int
+    cache_key: str
+    idempotency_key: Optional[str] = None
+    state: JobState = JobState.QUEUED
+    created: float = 0.0
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    coalesced: bool = False
+    done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+
+    def finish(self, state: JobState, now: float, *,
+               result: Optional[Dict[str, Any]] = None,
+               error: Optional[str] = None) -> None:
+        """Move to a terminal state and wake long-pollers."""
+        self.state = state
+        self.finished = now
+        self.result = result
+        self.error = error
+        self.done.set()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able snapshot (the ``GET /v1/jobs/{id}`` body)."""
+        doc: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "params": dict(self.params),
+            "client": self.client,
+            "priority": _PRIORITY_NAMES.get(self.priority, self.priority),
+            "state": self.state.value,
+            "created_unix": self.created,
+            "coalesced": self.coalesced,
+        }
+        if self.idempotency_key is not None:
+            doc["idempotency_key"] = self.idempotency_key
+        if self.started is not None:
+            doc["started_unix"] = self.started
+            doc["queued_seconds"] = self.started - self.created
+        if self.finished is not None:
+            doc["finished_unix"] = self.finished
+            if self.started is not None:
+                doc["running_seconds"] = self.finished - self.started
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.state is JobState.DONE and self.result is not None:
+            doc["result"] = self.result
+        return doc
+
+
+class JobStore:
+    """Owns admitted jobs; idempotency index + TTL result retention.
+
+    ``clock`` is injectable for tests; it must be monotonic-ish (the
+    default wall clock is fine operationally, a fake clock is fine in
+    tests).
+    """
+
+    def __init__(self, result_ttl: float = 600.0,
+                 clock: Callable[[], float] = time.time):
+        if result_ttl <= 0:
+            raise ServiceError(f"result_ttl must be positive, "
+                               f"got {result_ttl}")
+        self.result_ttl = result_ttl
+        self.clock = clock
+        self._jobs: Dict[str, Job] = {}
+        self._by_idem: Dict[Tuple[str, str], str] = {}
+        self._seq = itertools.count(1)
+        self._prefix = os.urandom(3).hex()
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def create(self, kind: str, params: Optional[Dict[str, Any]], *,
+               client: str = "anonymous", priority: str = "normal",
+               idempotency_key: Optional[str] = None) -> Tuple[Job, bool]:
+        """Admit a request; returns ``(job, created)``.
+
+        With an idempotency key the same ``(client, key)`` pair maps to
+        the same job for as long as it is retained, so retried
+        submissions are answered from the original job instead of
+        re-queueing work — ``created`` is ``False`` then.
+        """
+        self.purge()
+        if priority not in PRIORITIES:
+            raise ServiceError(f"unknown priority {priority!r}; "
+                               f"valid choices: "
+                               f"{', '.join(sorted(PRIORITIES))}", status=400)
+        if idempotency_key is not None:
+            existing_id = self._by_idem.get((client, idempotency_key))
+            if existing_id is not None and existing_id in self._jobs:
+                return self._jobs[existing_id], False
+        canon = canonical_params(kind, params)
+        job = Job(
+            id=f"j-{self._prefix}-{next(self._seq):06d}",
+            kind=kind,
+            params=canon,
+            client=client,
+            priority=PRIORITIES[priority],
+            cache_key=stable_hash({"kind": kind, "params": canon}),
+            idempotency_key=idempotency_key,
+            created=self.clock(),
+        )
+        self._jobs[job.id] = job
+        if idempotency_key is not None:
+            self._by_idem[(client, idempotency_key)] = job.id
+        return job, True
+
+    def get(self, job_id: str) -> Optional[Job]:
+        self.purge()
+        return self._jobs.get(job_id)
+
+    def discard(self, job: Job) -> None:
+        """Forget a job entirely (admission failed after ``create``)."""
+        self._jobs.pop(job.id, None)
+        if job.idempotency_key is not None:
+            key = (job.client, job.idempotency_key)
+            if self._by_idem.get(key) == job.id:
+                del self._by_idem[key]
+
+    def jobs(self) -> List[Job]:
+        return list(self._jobs.values())
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state (the ``/metrics`` breakdown)."""
+        out = {state.value: 0 for state in JobState}
+        for job in self._jobs.values():
+            out[job.state.value] += 1
+        return out
+
+    def purge(self, now: Optional[float] = None) -> int:
+        """Drop finished jobs older than the retention TTL."""
+        now = self.clock() if now is None else now
+        horizon = now - self.result_ttl
+        stale = [j for j in self._jobs.values()
+                 if j.state.finished and j.finished is not None
+                 and j.finished < horizon]
+        for job in stale:
+            del self._jobs[job.id]
+            if job.idempotency_key is not None:
+                key = (job.client, job.idempotency_key)
+                if self._by_idem.get(key) == job.id:
+                    del self._by_idem[key]
+        return len(stale)

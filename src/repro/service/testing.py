@@ -1,0 +1,104 @@
+"""In-process service harness for tests, examples and smoke checks.
+
+:class:`ServiceThread` runs a full :class:`~repro.service.EvaluationService`
+— real sockets, real HTTP — on a background thread's event loop, so a
+test can exercise the exact production code path and still tear
+everything down deterministically::
+
+    with ServiceThread(ServiceConfig(port=0, no_cache=True)) as svc:
+        client = svc.client("test-1")
+        result = client.run("spectrum", {"generator": "ramp"})
+
+``port=0`` binds an ephemeral port; :meth:`ServiceThread.request_shutdown`
+is the in-process equivalent of SIGTERM (same code path as the signal
+handler).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Dict, Optional
+
+from ..errors import ServiceError
+from .client import ServiceClient
+from .lifecycle import EvaluationService, ServiceConfig
+
+__all__ = ["ServiceThread"]
+
+
+class ServiceThread:
+    """Runs an :class:`EvaluationService` on a background thread."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None, *,
+                 context=None, telemetry=None):
+        self.config = config or ServiceConfig(port=0, no_cache=True)
+        self.service = EvaluationService(self.config, context=context,
+                                         telemetry=telemetry)
+        self.summary: Dict[str, int] = {}
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-service", daemon=True)
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        async def _main() -> None:
+            try:
+                await self.service.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._started.set()
+                raise
+            self._started.set()
+            await self.service.serve_until_shutdown()
+            assert self.service._shutdown_task is not None
+            self.summary = await self.service._shutdown_task
+
+        asyncio.run(_main())
+
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise ServiceError("service failed to start within 30s")
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"service failed to start: {self._startup_error}")
+        return self
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        assert self.service.port is not None
+        return self.service.port
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.service.host}:{self.port}"
+
+    def client(self, client_id: str = "test",
+               timeout: float = 60.0) -> ServiceClient:
+        return ServiceClient(self.base_url, client_id=client_id,
+                             timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def request_shutdown(self, reason: str = "test") -> None:
+        """The in-process SIGTERM: same drain path as the signal."""
+        loop = self.service._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self.service.request_shutdown, reason)
+
+    def stop(self, timeout: float = 60.0) -> Dict[str, int]:
+        """Request shutdown (if not already begun) and join the thread."""
+        if self._thread.is_alive():
+            self.request_shutdown("stop")
+            self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
+                raise ServiceError("service thread did not stop in time")
+        return self.summary

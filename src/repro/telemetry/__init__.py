@@ -35,6 +35,7 @@ from .sinks import (
     InMemorySink,
     JsonlSink,
     LoggingSummarySink,
+    RequestLogSink,
     TelemetrySink,
     reconstruct_spans,
     summarize_metrics,
@@ -52,6 +53,7 @@ __all__ = [
     "NULL_INSTRUMENT",
     "NULL_TELEMETRY",
     "NullTelemetry",
+    "RequestLogSink",
     "Span",
     "Telemetry",
     "TelemetrySink",

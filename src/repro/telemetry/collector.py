@@ -127,6 +127,19 @@ class Telemetry:
         for sink in self.sinks:
             sink.on_event(event)
 
+    def event(self, kind: str, **fields) -> None:
+        """Emit a free-form event straight to the sinks.
+
+        For event families that are neither spans nor instruments —
+        e.g. the evaluation service's per-request ``request`` records
+        consumed by :class:`~repro.telemetry.sinks.RequestLogSink`.
+        ``kind`` becomes the event's ``type`` field; sinks that do not
+        recognize it simply pass it through.
+        """
+        e: Dict[str, object] = {"type": kind}
+        e.update(fields)
+        self._emit(e)
+
     def flush(self) -> None:
         """Push instrument snapshots to the sinks and flush them.
 
@@ -202,6 +215,9 @@ class NullTelemetry:
 
     def metrics(self) -> Dict[str, object]:
         return {}
+
+    def event(self, kind: str, **fields) -> None:
+        pass
 
     def flush(self) -> None:
         pass

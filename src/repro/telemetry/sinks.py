@@ -28,6 +28,7 @@ __all__ = [
     "InMemorySink",
     "JsonlSink",
     "LoggingSummarySink",
+    "RequestLogSink",
     "reconstruct_spans",
     "summarize_metrics",
 ]
@@ -75,8 +76,9 @@ def _json_default(obj):
 class JsonlSink(TelemetrySink):
     """Appends one JSON object per line to ``path`` (opened lazily)."""
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, mode: str = "w"):
         self.path = str(path)
+        self.mode = mode
         self._fh = None
 
     def open(self) -> None:
@@ -86,11 +88,11 @@ class JsonlSink(TelemetrySink):
         simulation work has been spent.
         """
         if self._fh is None:
-            self._fh = open(self.path, "w", encoding="utf-8")
+            self._fh = open(self.path, self.mode, encoding="utf-8")
 
     def on_event(self, event: Dict[str, object]) -> None:
         if self._fh is None:
-            self._fh = open(self.path, "w", encoding="utf-8")
+            self.open()
         self._fh.write(json.dumps(event, default=_json_default) + "\n")
 
     def flush(self) -> None:
@@ -101,6 +103,32 @@ class JsonlSink(TelemetrySink):
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+
+class RequestLogSink(JsonlSink):
+    """JSON-lines request log: one record per served request.
+
+    Consumes only the free-form ``request`` events emitted through
+    :meth:`Telemetry.event("request", ...)
+    <repro.telemetry.collector.Telemetry.event>` — everything else in
+    the stream (spans, instrument snapshots) is ignored — and writes
+    each as one JSON line.  The evaluation service uses it as the
+    access log (``repro serve --access-log``); each record carries at
+    least ``route``, ``method``, ``status``, ``latency_ms`` and, where
+    the handler knows it, ``client`` and a ``cache`` hit/miss marker.
+
+    Opens in append mode by default so restarts extend the log.
+    """
+
+    EVENT_TYPE = "request"
+
+    def __init__(self, path: str, mode: str = "a"):
+        super().__init__(path, mode=mode)
+
+    def on_event(self, event: Dict[str, object]) -> None:
+        if event.get("type") == self.EVENT_TYPE:
+            super().on_event(event)
+            self.flush()  # access logs should be tail-able live
 
 
 class LoggingSummarySink(TelemetrySink):

@@ -1,0 +1,153 @@
+"""Concurrency tests for the artifact cache.
+
+The evaluation service shares one on-disk store across worker threads,
+sweep worker processes and any number of concurrently running CLIs.
+These tests hammer a single store from two OS processes and assert the
+atomic-write protocol holds: readers never observe a torn entry, every
+load is either a clean hit or a clean miss, and eviction racing a
+writer never corrupts surviving entries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro.cache import ArtifactCache
+
+KIND = "concurrency-test"
+SLOTS = 8
+ROUNDS = 40
+
+
+def _payload(slot):
+    return {"slot": int(slot)}
+
+
+def _arrays(slot, round_no):
+    # Content is derived from the slot alone so any process's write is
+    # acceptable; `round_no` only perturbs scheduling.
+    base = np.arange(64, dtype=np.int64) * (slot + 1)
+    return {"data": base, "tag": np.int64(slot)}
+
+
+def _hammer(root, worker, rounds, out_queue):
+    """Alternate stores and loads against every slot; report anomalies."""
+    cache = ArtifactCache(root)
+    anomalies = []
+    rng = np.random.default_rng(worker)
+    for round_no in range(rounds):
+        slot = int(rng.integers(SLOTS))
+        if (round_no + worker) % 2 == 0:
+            cache.store(KIND, _payload(slot), _arrays(slot, round_no),
+                        meta={"worker": worker})
+        got = cache.load(KIND, _payload(slot))
+        if got is None:
+            continue  # clean miss: evicted or not yet written
+        want = _arrays(slot, round_no)
+        if not np.array_equal(got["data"], want["data"]):
+            anomalies.append(("torn-data", slot, round_no))
+        if int(got["tag"]) != slot:
+            anomalies.append(("wrong-slot", slot, round_no))
+    out_queue.put((worker, anomalies, cache.stats.hits, cache.stats.misses))
+
+
+def _run_workers(root, rounds=ROUNDS, workers=2):
+    ctx = mp.get_context("spawn")
+    out_queue = ctx.Queue()
+    procs = [ctx.Process(target=_hammer, args=(root, w, rounds, out_queue))
+             for w in range(workers)]
+    for p in procs:
+        p.start()
+    reports = [out_queue.get(timeout=300) for _ in procs]
+    for p in procs:
+        p.join(timeout=300)
+        assert p.exitcode == 0, f"worker crashed with {p.exitcode}"
+    return reports
+
+
+class TestConcurrentReadersWriters:
+    def test_two_processes_never_see_torn_entries(self, tmp_path):
+        root = str(tmp_path / "store")
+        reports = _run_workers(root)
+        all_anomalies = [a for _w, anomalies, _h, _m in reports
+                         for a in anomalies]
+        assert not all_anomalies, all_anomalies
+        # The store ends in a valid state: every surviving entry loads.
+        cache = ArtifactCache(root)
+        loaded = 0
+        for slot in range(SLOTS):
+            got = cache.load(KIND, _payload(slot))
+            if got is not None:
+                assert int(got["tag"]) == slot
+                loaded += 1
+        assert loaded > 0
+
+    def test_eviction_racing_writers_is_safe(self, tmp_path):
+        # A tiny size cap forces evict() on every store, so writers
+        # continuously delete each other's entries mid-traffic.
+        root = str(tmp_path / "store")
+        seed = ArtifactCache(root, max_bytes=4096)
+        seed.store(KIND, _payload(0), _arrays(0, 0))
+
+        ctx = mp.get_context("spawn")
+        out_queue = ctx.Queue()
+        procs = [ctx.Process(target=_hammer_evicting,
+                             args=(root, w, out_queue)) for w in range(2)]
+        for p in procs:
+            p.start()
+        reports = [out_queue.get(timeout=300) for _ in procs]
+        for p in procs:
+            p.join(timeout=300)
+            assert p.exitcode == 0
+        anomalies = [a for _w, anomalies in reports for a in anomalies]
+        assert not anomalies, anomalies
+        # Post-condition: whatever survived the LRU churn still loads
+        # cleanly and the store is within (or near) its cap.
+        cache = ArtifactCache(root, max_bytes=4096)
+        for slot in range(SLOTS):
+            got = cache.load(KIND, _payload(slot))
+            if got is not None:
+                assert np.array_equal(got["data"],
+                                      _arrays(slot, 0)["data"])
+
+    def test_no_stray_tmp_files_after_crash_free_run(self, tmp_path):
+        root = str(tmp_path / "store")
+        _run_workers(root, rounds=10)
+        stray = [name for _dir, _sub, files in os.walk(root)
+                 for name in files if name.endswith(".tmp")]
+        assert stray == []
+
+
+def _hammer_evicting(root, worker, out_queue):
+    """Store/load loop against a store whose cap evicts on every write."""
+    cache = ArtifactCache(root, max_bytes=4096)
+    anomalies = []
+    for round_no in range(30):
+        slot = (round_no + worker) % SLOTS
+        cache.store(KIND, _payload(slot), _arrays(slot, round_no))
+        got = cache.load(KIND, _payload(slot))
+        if got is not None and not np.array_equal(
+                got["data"], _arrays(slot, round_no)["data"]):
+            anomalies.append(("torn-data", slot, round_no))
+    out_queue.put((worker, anomalies))
+
+
+class TestSharedStoreSemantics:
+    def test_interleaved_store_load_same_key(self, tmp_path):
+        """Same-key writers from both processes: last write wins, and
+        every intermediate read is one of the two valid contents."""
+        cache = ArtifactCache(str(tmp_path / "store"))
+        a = {"data": np.ones(32, dtype=np.int64), "tag": np.int64(1)}
+        b = {"data": np.full(32, 2, dtype=np.int64), "tag": np.int64(2)}
+        for _ in range(10):
+            cache.store(KIND, {"slot": 99}, a)
+            cache.store(KIND, {"slot": 99}, b)
+            got = cache.load(KIND, {"slot": 99})
+            assert got is not None
+            assert int(got["tag"]) in (1, 2)
+        final = cache.load(KIND, {"slot": 99})
+        assert int(final["tag"]) == 2

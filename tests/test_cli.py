@@ -70,3 +70,78 @@ class TestCommands:
     def test_missing_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestUnknownNames:
+    """Unknown design/generator names: one-line error, exit code 2."""
+
+    def test_grade_unknown_design(self, capsys):
+        assert main(["grade", "--design", "XL"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown design 'XL'" in err
+        assert "BP" in err and "HP" in err and "LP" in err
+
+    def test_grade_unknown_generator(self, capsys):
+        assert main(["grade", "--generator", "noise"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown generator 'noise'" in err
+        assert "lfsr1" in err and "white" in err
+
+    def test_rank_unknown_design(self, capsys):
+        assert main(["rank", "--design", "bandstop"]) == 2
+        assert "unknown design" in capsys.readouterr().err
+
+    def test_sweep_unknown_generator_key(self, capsys):
+        assert main(["sweep", "--generators", "LFSR-1,Fibonacci",
+                     "--vectors", "64"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown generator 'Fibonacci'" in err
+        assert "LFSR-D" in err and "Ramp" in err
+
+    def test_grade_accepts_aliases(self, capsys):
+        assert main(["grade", "--design", "bp", "--generator", "LFSR-D",
+                     "--vectors", "128"]) == 0
+        assert "detected" in capsys.readouterr().out
+
+
+class TestBenchNow:
+    """`bench --now` / $REPRO_BENCH_NOW pin the report timestamp."""
+
+    @staticmethod
+    def _args(now):
+        import argparse
+        return argparse.Namespace(now=now)
+
+    def test_unix_float(self):
+        from repro.cli import _bench_now
+        assert _bench_now(self._args("1754500000.5")) == 1754500000.5
+
+    def test_iso_datetime(self):
+        from datetime import datetime
+
+        from repro.cli import _bench_now
+        got = _bench_now(self._args("2026-08-05T12:00:00"))
+        assert got == datetime.fromisoformat("2026-08-05T12:00:00").timestamp()
+
+    def test_env_fallback(self, monkeypatch):
+        from repro.cli import _bench_now
+        monkeypatch.setenv("REPRO_BENCH_NOW", "123.25")
+        assert _bench_now(self._args(None)) == 123.25
+
+    def test_flag_beats_env(self, monkeypatch):
+        from repro.cli import _bench_now
+        monkeypatch.setenv("REPRO_BENCH_NOW", "123.25")
+        assert _bench_now(self._args("456.0")) == 456.0
+
+    def test_wall_clock_default(self, monkeypatch):
+        import time
+
+        from repro.cli import _bench_now
+        monkeypatch.delenv("REPRO_BENCH_NOW", raising=False)
+        assert abs(_bench_now(self._args(None)) - time.time()) < 60
+
+    def test_garbage_rejected(self):
+        from repro.cli import _bench_now
+        with pytest.raises(ReproError):
+            _bench_now(self._args("yesterday-ish"))

@@ -17,7 +17,7 @@ class TestExamples:
         names = {p.stem for p in EXAMPLES}
         assert {"quickstart", "generator_selection", "serious_fault_demo",
                 "tap_attenuation_analysis", "custom_filter_bist",
-                "export_and_verify"} <= names
+                "export_and_verify", "service_client"} <= names
 
     @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
     def test_examples_compile(self, path):
@@ -46,6 +46,20 @@ class TestExamples:
         )
         assert proc.returncode == 0, proc.stderr[-2000:]
         assert "round-trip verified" in proc.stdout
+
+    def test_service_example_runs_end_to_end(self):
+        import os
+
+        env = dict(os.environ, REPRO_FAST="1")  # small fault universes
+        proc = subprocess.run(
+            [sys.executable, "examples/service_client.py"],
+            capture_output=True, text=True, timeout=300,
+            cwd=pathlib.Path(__file__).parent.parent, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert "proposed scheme" in proc.stdout
+        assert "idempotent retry" in proc.stdout
+        assert "0 failed" in proc.stdout
 
 
 class TestModuleEntry:

@@ -231,12 +231,15 @@ class TestCliSweepBench:
                      "--vectors", "96", "--jobs", "1", "--no-cache"]) == 0
         assert "cache: disabled" in capsys.readouterr().out
 
-    def test_sweep_bad_grid(self):
+    def test_sweep_bad_grid(self, capsys):
         from repro.cli import main
-        from repro.errors import ReproError
 
-        with pytest.raises(ReproError, match="unknown design"):
-            main(["sweep", "--designs", "ZZ", "--no-cache"])
+        # Unknown names are a one-line usage error (exit 2), not a raise.
+        assert main(["sweep", "--designs", "ZZ", "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown design 'ZZ'" in err
+        assert "valid choices: BP, HP, LP" in err
+        assert err.strip().count("\n") == 0
 
     def test_bench_report(self, tmp_path, capsys):
         from repro.cli import main

@@ -1,0 +1,90 @@
+"""Unit tests for the shared design/generator name resolver."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.generators import MixedModeLfsr
+from repro.resolve import (
+    DESIGN_NAMES,
+    GENERATOR_CHOICES,
+    SWEEP_GENERATOR_KEYS,
+    UnknownNameError,
+    make_generator,
+    resolve_design,
+    resolve_generator,
+    resolve_generator_key,
+    resolve_names,
+)
+
+
+class TestResolveDesign:
+    @pytest.mark.parametrize("raw,want", [
+        ("LP", "LP"), ("lp", "LP"), ("Bp", "BP"), (" hp ", "HP"),
+    ])
+    def test_case_and_whitespace_insensitive(self, raw, want):
+        assert resolve_design(raw) == want
+
+    def test_unknown_lists_choices(self):
+        with pytest.raises(UnknownNameError) as err:
+            resolve_design("notch")
+        msg = str(err.value)
+        assert "notch" in msg
+        for name in DESIGN_NAMES:
+            assert name in msg
+
+    def test_error_is_a_repro_error(self):
+        with pytest.raises(ReproError):
+            resolve_design("")
+
+
+class TestResolveGenerator:
+    @pytest.mark.parametrize("raw,want", [
+        ("lfsr1", "lfsr1"), ("LFSR1", "lfsr1"), ("LFSR-1", "lfsr1"),
+        ("lfsr-d", "lfsrd"), ("LFSR-M", "lfsrm"), ("Ramp", "ramp"),
+        ("MIXED", "mixed"), ("white", "white"),
+    ])
+    def test_aliases(self, raw, want):
+        assert resolve_generator(raw) == want
+
+    def test_unknown_lists_choices(self):
+        with pytest.raises(UnknownNameError) as err:
+            resolve_generator("bogus")
+        for name in GENERATOR_CHOICES:
+            assert name in str(err.value)
+
+    @pytest.mark.parametrize("raw,want", [
+        ("LFSR-1", "LFSR-1"), ("lfsr1", "LFSR-1"), ("lfsr-d", "LFSR-D"),
+        ("ramp", "Ramp"), ("Mixed", "Mixed"),
+    ])
+    def test_sweep_keys(self, raw, want):
+        assert resolve_generator_key(raw) == want
+
+    def test_white_has_no_sweep_key(self):
+        with pytest.raises(UnknownNameError) as err:
+            resolve_generator_key("white")
+        for key in SWEEP_GENERATOR_KEYS:
+            assert key in str(err.value)
+
+
+class TestResolveNames:
+    def test_comma_list_resolves_and_dedups(self):
+        got = resolve_names("lp, BP,lp ,hp", resolve_design)
+        assert got == ["LP", "BP", "HP"]
+
+    def test_empty_items_skipped(self):
+        assert resolve_names(",LP,,", resolve_design) == ["LP"]
+
+    def test_bad_item_raises(self):
+        with pytest.raises(UnknownNameError):
+            resolve_names("LFSR-1,nope", resolve_generator_key)
+
+
+class TestMakeGenerator:
+    def test_mixed_switch_after_floor(self):
+        gen = make_generator("mixed", 12, 1)
+        assert isinstance(gen, MixedModeLfsr)
+        assert gen.switch_after == 1  # never zero
+
+    def test_unknown_kind(self):
+        with pytest.raises(ReproError):
+            make_generator("quantum", 12, 4096)

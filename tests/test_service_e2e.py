@@ -1,0 +1,168 @@
+"""End-to-end acceptance test for the evaluation service.
+
+The ISSUE's bar: an in-process service instance takes 20 mixed
+rank/spectrum jobs from 3 simulated clients and returns results
+identical to direct library calls; submissions past ``--queue-depth``
+get 429; SIGTERM (here: the same in-process shutdown path) drains
+in-flight jobs without losing any.
+"""
+
+import threading
+
+import pytest
+
+from repro.service import ServiceConfig, ServiceThread, canonical_params
+from repro.service.client import ServiceBusy
+from repro.service.workers import execute_job
+
+# 20 mixed jobs: every (kind, params) also evaluated directly against
+# the library for the equality check.  Several specs repeat across
+# clients on purpose — they exercise the coalescer.
+JOB_SPECS = [
+    ("rank", {"design": "LP", "vectors": 256}),
+    ("rank", {"design": "BP", "vectors": 256}),
+    ("rank", {"design": "HP", "vectors": 256}),
+    ("rank", {"design": "LP", "vectors": 512}),
+    ("rank", {"design": "BP", "vectors": 1024}),
+    ("rank", {"design": "hp", "vectors": 512}),       # alias spelling
+    ("rank", {"design": "LP", "vectors": 256}),       # duplicate
+    ("spectrum", {"generator": "lfsr1", "width": 8, "points": 8}),
+    ("spectrum", {"generator": "lfsr2", "width": 8, "points": 8}),
+    ("spectrum", {"generator": "lfsrd", "width": 8, "points": 8}),
+    ("spectrum", {"generator": "lfsrm", "width": 8, "points": 8}),
+    ("spectrum", {"generator": "ramp", "width": 8, "points": 8}),
+    ("spectrum", {"generator": "mixed", "width": 8, "points": 8}),
+    ("spectrum", {"generator": "white", "width": 8, "points": 8}),
+    ("spectrum", {"generator": "LFSR-1", "width": 8, "points": 4}),
+    ("spectrum", {"generator": "lfsr1", "width": 10, "points": 8}),
+    ("spectrum", {"generator": "ramp", "width": 10, "points": 8}),
+    ("spectrum", {"generator": "lfsr1", "width": 8, "points": 8}),  # dup
+    ("rank", {"design": "HP", "vectors": 256}),       # duplicate
+    ("spectrum", {"generator": "ramp", "width": 8, "points": 8}),   # dup
+]
+
+
+def test_mixed_load_matches_direct_calls(ctx):
+    config = ServiceConfig(port=0, no_cache=True, workers=2,
+                           queue_depth=64, batch_max=4)
+    with ServiceThread(config, context=ctx) as svc:
+        svc.client().wait_ready(60)
+
+        # 3 simulated clients submit their share concurrently.
+        shares = [JOB_SPECS[0::3], JOB_SPECS[1::3], JOB_SPECS[2::3]]
+        results = {}
+        errors = []
+
+        def drive(client_idx, specs):
+            client = svc.client(f"client-{client_idx}")
+            try:
+                submitted = [
+                    (seq, spec,
+                     client.submit_retry(spec[0], spec[1], deadline=120))
+                    for seq, spec in enumerate(specs)]
+                for seq, spec, job in submitted:
+                    doc = client.wait(job["id"], timeout=120)
+                    results[(client_idx, seq, spec[0],
+                             tuple(sorted(spec[1].items())))] = doc
+            except Exception as exc:  # surfaced after join
+                errors.append((client_idx, exc))
+
+        threads = [threading.Thread(target=drive, args=(i, share))
+                   for i, share in enumerate(shares)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert not errors, f"client failures: {errors}"
+        assert len(results) == len(JOB_SPECS)
+
+        # Every service answer must equal the direct library call.
+        for doc in results.values():
+            assert doc["state"] == "done", doc
+        for (client_idx, seq, kind, items), doc in results.items():
+            params = dict(items)
+            direct = execute_job(ctx, kind, canonical_params(kind, params))
+            assert doc["result"] == direct, (kind, params)
+
+        metrics = svc.client().metrics()["service"]
+        assert metrics["jobs_done"] >= len(JOB_SPECS)
+
+    summary = svc.summary
+    assert summary["clean"] == 1
+    assert summary["failed"] == 0
+
+
+def test_backpressure_past_queue_depth(ctx):
+    # One worker, no batching, tiny queue: the leader job occupies the
+    # worker while the queue fills, so the 4th submission must see 429.
+    config = ServiceConfig(port=0, no_cache=True, workers=1,
+                           queue_depth=2, batch_max=1)
+    with ServiceThread(config, context=ctx) as svc:
+        client = svc.client("flooder")
+        client.wait_ready(60)
+        admitted = []
+        rejected = 0
+        for i in range(8):
+            try:
+                admitted.append(
+                    client.submit("grade", {"design": "LP",
+                                            "generator": "LFSR-1",
+                                            "vectors": 64 + i}))
+            except ServiceBusy as exc:
+                rejected += 1
+                assert exc.status == 429
+                assert exc.retry_after >= 1.0
+        assert rejected > 0, "queue never pushed back"
+        assert len(admitted) >= 3  # leader + queue_depth
+
+        # Cancel what is still queued to keep the drain short; queued
+        # cancels succeed, the running leader reports 409.
+        outcomes = set()
+        for job in admitted[1:]:
+            try:
+                outcomes.add(client.cancel(job["id"])["state"])
+            except Exception:
+                outcomes.add("conflict")
+        summary = svc.stop()
+    assert summary["clean"] == 1
+    assert "cancelled" in outcomes
+
+
+def test_shutdown_drains_without_losing_jobs(ctx):
+    config = ServiceConfig(port=0, no_cache=True, workers=2,
+                           queue_depth=64, batch_max=4,
+                           drain_deadline=120)
+    svc = ServiceThread(config, context=ctx).start()
+    client = svc.client("drainer")
+    client.wait_ready(60)
+    jobs = [client.submit("spectrum", {"generator": g, "width": 8,
+                                       "points": 4})
+            for g in ("lfsr1", "lfsr2", "lfsrd", "lfsrm", "ramp")]
+    jobs.append(client.submit("rank", {"design": "LP", "vectors": 128}))
+
+    store = svc.service.store  # in-process: inspect after drain
+    summary = svc.stop()
+
+    assert summary["clean"] == 1, "drain hit the deadline"
+    states = {j["id"]: store.get(j["id"]).state.value for j in jobs}
+    assert all(state == "done" for state in states.values()), states
+    assert summary["failed"] == 0
+    assert summary["done"] >= len(jobs)
+
+
+def test_draining_service_refuses_submissions(ctx):
+    config = ServiceConfig(port=0, no_cache=True, workers=1)
+    with ServiceThread(config, context=ctx) as svc:
+        client = svc.client()
+        client.wait_ready(60)
+        svc.request_shutdown("test")
+        # The listener may close at any moment; until it does, new
+        # submissions must be 503, never enqueued.
+        try:
+            client.submit("rank", {"vectors": 64})
+        except ServiceBusy as exc:
+            assert exc.status == 503
+        except (ConnectionError, OSError):
+            pass  # listener already closed: equally refused
+        else:
+            pytest.fail("draining service accepted a submission")

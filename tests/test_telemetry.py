@@ -238,3 +238,69 @@ class TestCurrentCollector:
             return "ok"
 
         assert work() == "ok"
+
+
+class TestFreeFormEvents:
+    def test_event_reaches_sinks(self):
+        sink = InMemorySink()
+        tel = Telemetry(sinks=[sink])
+        tel.event("request", route="/healthz", status=200)
+        assert sink.events == [
+            {"type": "request", "route": "/healthz", "status": 200}]
+
+    def test_null_telemetry_event_is_noop(self):
+        NULL_TELEMETRY.event("request", route="/x")  # must not raise
+
+
+class TestRequestLogSink:
+    def test_filters_to_request_events_and_flushes(self, tmp_path):
+        from repro.telemetry import RequestLogSink
+
+        path = tmp_path / "access.jsonl"
+        sink = RequestLogSink(str(path))
+        tel = Telemetry(sinks=[sink])
+        with tel.span("noise"):
+            pass
+        tel.counter("noise").add(1)
+        tel.event("request", route="/v1/jobs", method="POST", status=202,
+                  latency_ms=1.5)
+        tel.event("other", route="/ignored")
+        # Flushed per record: readable before close (tail -f semantics).
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines() if line]
+        assert lines == [{"type": "request", "route": "/v1/jobs",
+                          "method": "POST", "status": 202,
+                          "latency_ms": 1.5}]
+        tel.flush()
+        tel.close()
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines() if line]
+        assert len(lines) == 1  # span/counter snapshots never leak in
+
+    def test_appends_across_restarts(self, tmp_path):
+        from repro.telemetry import RequestLogSink
+
+        path = tmp_path / "access.jsonl"
+        for round_no in range(2):
+            sink = RequestLogSink(str(path))
+            tel = Telemetry(sinks=[sink])
+            tel.event("request", route="/healthz", status=200,
+                      round=round_no)
+            tel.close()
+        rounds = [json.loads(line)["round"]
+                  for line in path.read_text().splitlines() if line]
+        assert rounds == [0, 1]
+
+    def test_jsonl_sink_mode_override(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"old": true}\n')
+        sink = JsonlSink(str(path), mode="a")
+        sink.on_event({"type": "span", "name": "s"})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2 and json.loads(lines[0]) == {"old": True}
+        # Default mode still truncates.
+        sink = JsonlSink(str(path))
+        sink.on_event({"type": "span", "name": "t"})
+        sink.close()
+        assert len(path.read_text().splitlines()) == 1
