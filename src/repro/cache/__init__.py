@@ -26,12 +26,16 @@ from .keys import (
     code_version,
     design_fingerprint,
     generator_fingerprint,
+    netlist_fingerprint,
     stable_hash,
+    stimulus_fingerprint,
 )
 from .pipeline import (
     cached_coverage,
     cached_design,
+    cached_gate_program,
     cached_golden,
+    cached_net_waves,
     cached_netlist,
     cached_universe,
 )
@@ -43,12 +47,16 @@ __all__ = [
     "CacheStats",
     "cached_coverage",
     "cached_design",
+    "cached_gate_program",
     "cached_golden",
+    "cached_net_waves",
     "cached_netlist",
     "cached_universe",
     "code_version",
     "default_cache_dir",
     "design_fingerprint",
     "generator_fingerprint",
+    "netlist_fingerprint",
     "stable_hash",
+    "stimulus_fingerprint",
 ]

@@ -25,6 +25,8 @@ __all__ = [
     "code_version",
     "design_fingerprint",
     "generator_fingerprint",
+    "netlist_fingerprint",
+    "stimulus_fingerprint",
 ]
 
 #: Bump whenever an artifact's on-disk encoding changes; every key
@@ -86,6 +88,45 @@ def design_fingerprint(design) -> Dict[str, Any]:
         "registers": design.register_count,
         "nodes": len(design.graph.nodes),
     }
+
+
+#: Gate-kind codes for netlist fingerprints (stable across releases).
+_GATE_KIND_CODES = {"xor": 0, "and": 1, "or": 2, "not": 3, "buf": 4}
+
+
+def netlist_fingerprint(nl) -> Dict[str, Any]:
+    """Content fingerprint of a :class:`~repro.gates.netlist.GateNetlist`.
+
+    Hashes the complete evaluable structure — gate kinds and
+    connectivity, flip-flops, element order, and the input/output net
+    lists — so two netlists fingerprint equal iff they simulate
+    identically.  Net names and cell-site maps are excluded: they label
+    faults but never change a waveform.
+    """
+    ins_flat: list = []
+    for g in nl.gates:
+        ins_flat.extend(g.ins)
+        ins_flat.append(-1)  # arity separator
+    return {
+        "nets": int(nl.net_count),
+        "gate_kind": np.array([_GATE_KIND_CODES[g.kind] for g in nl.gates],
+                              dtype=np.int8),
+        "gate_out": np.array([g.out for g in nl.gates], dtype=np.int64),
+        "gate_ins": np.array(ins_flat, dtype=np.int64),
+        "dff": np.array([(d.d, d.q) for d in nl.dffs],
+                        dtype=np.int64).reshape(len(nl.dffs), 2),
+        "elements": np.array(
+            [(0 if kind == "gate" else 1, idx) for kind, idx in nl.elements],
+            dtype=np.int64).reshape(len(nl.elements), 2),
+        "input_bits": np.array(nl.input_bits, dtype=np.int64),
+        "output_bits": np.array(nl.output_bits, dtype=np.int64),
+    }
+
+
+def stimulus_fingerprint(raw) -> Dict[str, Any]:
+    """Content fingerprint of a raw input-sample sequence."""
+    arr = np.ascontiguousarray(raw, dtype=np.int64)
+    return {"raw": arr, "n_vectors": int(arr.shape[0])}
 
 
 def generator_fingerprint(gen) -> Dict[str, Any]:

@@ -146,6 +146,10 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--width", type=int, default=12)
     profile.add_argument("--beta", type=float, default=0.25,
                          help="test-zone width parameter (Figure 1)")
+    profile.add_argument("--exact", type=int, default=0, metavar="N",
+                         help="also grade the first N gate-level faults "
+                              "with the exact cone engine and report its "
+                              "cone/drop counters (0 = skip)")
 
     def add_grid_flags(p, default_generators: str, default_vectors: int):
         p.add_argument("--designs", default="LP,BP,HP",
@@ -185,6 +189,24 @@ def _build_parser() -> argparse.ArgumentParser:
                             "float or ISO-8601 datetime (default: "
                             "$REPRO_BENCH_NOW, else the wall clock); "
                             "pin it for reproducible report diffs")
+    bench.add_argument("--gates", action="store_true",
+                       help="benchmark the cone-restricted gate-level "
+                            "fault simulator against the reference "
+                            "engine instead of the sweep grid")
+    bench.add_argument("--gates-design", default="LP",
+                       metavar="{LP,BP,HP}",
+                       help="design graded by --gates (default LP)")
+    bench.add_argument("--gates-vectors", type=int, default=4096,
+                       help="stimulus length for --gates (default 4096)")
+    bench.add_argument("--gates-faults", type=int, default=0,
+                       help="restrict --gates to the first N faults "
+                            "(0 = the full fault universe)")
+    bench.add_argument("--gates-threshold", type=float, default=3.0,
+                       help="minimum optimized/reference speedup for "
+                            "--gates --check (default 3.0)")
+    bench.add_argument("--gates-out", default="BENCH_gatesim.json",
+                       help="report path for --gates "
+                            "(default BENCH_gatesim.json)")
 
     serve = sub.add_parser(
         "serve",
@@ -247,6 +269,14 @@ def _cmd_profile(args, ctx: ExperimentContext, tel: Telemetry) -> int:
                                 zone_tracer=tracer)
     tracer.publish(tel)
 
+    if args.exact:
+        from .gates import elaborate, enumerate_cell_faults, gate_level_missed
+
+        with tel.span("profile.exact", faults=args.exact):
+            nl = elaborate(design.graph)
+            faults = enumerate_cell_faults(design.graph, nl)[:args.exact]
+            missed = gate_level_missed(nl, gen.sequence(args.vectors), faults)
+
     print(coverage_summary(result))
     print()
     print("span tree:")
@@ -255,6 +285,14 @@ def _cmd_profile(args, ctx: ExperimentContext, tel: Telemetry) -> int:
     if vps:
         print(f"\nthroughput: {vps:,.0f} vectors/sec "
               f"({vps * universe.fault_count:,.0f} fault-vectors/sec)")
+    if args.exact:
+        print(f"\nexact gate-level grading: {len(faults)} faults, "
+              f"{len(missed)} missed")
+        for key in _GATE_COUNTERS:
+            print(f"  {key:24s} {tel.counter(key).value:>12,}")
+        fps = tel.gauge("gates.faults_per_sec").value
+        if fps:
+            print(f"  {'gates.faults_per_sec':24s} {fps:>12,.0f}")
     print()
     print(tracer.table())
     return 0
@@ -332,6 +370,114 @@ def _bench_now(args) -> float:
             f"got {raw!r}") from None
 
 
+#: Counters the gate-sim benchmark and ``profile --exact`` report.
+_GATE_COUNTERS = (
+    "gates.fault_batches",
+    "gates.faults_graded",
+    "gates.cone_nets",
+    "gates.chunks_skipped",
+    "gates.faults_dropped",
+)
+
+
+def _cmd_bench_gates(args) -> int:
+    """``bench --gates``: cone engine vs reference engine, one design.
+
+    Grades the same fault universe with the optimized cone-restricted
+    engine and the retained pre-optimization reference, asserts the
+    missed-fault lists are identical, and records the speedup in a
+    ``repro-bench-gatesim/1`` report; ``--check`` gates on
+    ``--gates-threshold``.
+    """
+    import json
+    import time
+
+    from .gates import (elaborate, enumerate_cell_faults, gate_level_missed,
+                        gate_level_missed_reference)
+    from .generators import Type1Lfsr, match_width
+
+    name = resolve_design(args.gates_design)
+    ctx = ExperimentContext()
+    design = ctx.designs[name]
+    nl = elaborate(design.graph)
+    faults = enumerate_cell_faults(design.graph, nl)
+    if args.gates_faults:
+        faults = faults[:args.gates_faults]
+    width = ctx.config.generator_width
+    raw = match_width(Type1Lfsr(width).sequence(args.gates_vectors),
+                      width, width)
+
+    tel = Telemetry()
+    previous = set_telemetry(tel)
+    try:
+        t0 = time.perf_counter()
+        missed_opt = gate_level_missed(nl, raw, faults)
+        opt_seconds = time.perf_counter() - t0
+    finally:
+        set_telemetry(previous)
+    counters = {key: tel.counter(key).value for key in _GATE_COUNTERS}
+
+    t0 = time.perf_counter()
+    missed_ref = gate_level_missed_reference(nl, raw, faults)
+    ref_seconds = time.perf_counter() - t0
+
+    def fault_key(f):
+        return (f.node_id, f.bit, f.cell_fault)
+
+    identical = ([fault_key(f) for f in missed_opt]
+                 == [fault_key(f) for f in missed_ref])
+    speedup = ref_seconds / opt_seconds if opt_seconds else 0.0
+
+    def rates(seconds: float):
+        return {
+            "seconds": seconds,
+            "faults_per_sec": len(faults) / seconds if seconds else 0.0,
+        }
+
+    report = {
+        "schema": "repro-bench-gatesim/1",
+        "created_unix": _bench_now(args),
+        "config": {
+            "design": name,
+            "vectors": args.gates_vectors,
+            "faults": len(faults),
+        },
+        "reference": rates(ref_seconds),
+        "optimized": dict(rates(opt_seconds), counters=counters),
+        "missed": len(missed_opt),
+        "speedup": speedup,
+        "identical": identical,
+    }
+    with open(args.gates_out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(f"gate-level universe: {name}, {len(faults)} faults, "
+          f"{args.gates_vectors} vectors")
+    print(f"optimized: {opt_seconds:8.2f}s  "
+          f"{report['optimized']['faults_per_sec']:10,.0f} faults/s  "
+          f"missed {len(missed_opt)}")
+    print(f"reference: {ref_seconds:8.2f}s  "
+          f"{report['reference']['faults_per_sec']:10,.0f} faults/s  "
+          f"missed {len(missed_ref)}")
+    print(f"speedup:   {speedup:.2f}x   identical: {identical}   "
+          f"wrote {args.gates_out}")
+
+    if args.check:
+        if not identical:
+            print("bench check FAILED: cone-engine verdicts differ from "
+                  "the reference engine", file=sys.stderr)
+            return 1
+        if speedup < args.gates_threshold:
+            print(f"bench check FAILED: gate-sim speedup {speedup:.2f} "
+                  f"below threshold {args.gates_threshold:.2f}",
+                  file=sys.stderr)
+            return 1
+        print(f"bench check passed: speedup {speedup:.2f} >= "
+              f"{args.gates_threshold:.2f}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     import json
     import time
@@ -340,6 +486,9 @@ def _cmd_bench(args) -> int:
 
     from .parallel import resolve_jobs
     from .parallel.sweep import SweepTask, run_sweep
+
+    if args.gates:
+        return _cmd_bench_gates(args)
 
     designs, gens = _parse_grid(args)  # fail fast on bad names
     cache = _make_cache(args)

@@ -10,8 +10,22 @@ from .gatesim import (
     pack_input_bits,
     simulate_netlist,
 )
-from .faults import EnumeratedFault, enumerate_cell_faults, gate_level_fault_simulation
-from .fault_parallel import fault_parallel_detect, gate_level_missed
+from .compiled import CompiledNetlist, compile_netlist, compiled_program
+from .faults import (
+    EnumeratedFault,
+    enumerate_cell_faults,
+    gate_level_fault_simulation,
+    schedule_fault_batches,
+)
+from .fault_parallel import (
+    DEFAULT_CHUNK,
+    DEFAULT_WORDS,
+    fault_parallel_detect,
+    fault_parallel_grade,
+    fault_parallel_reference,
+    gate_level_missed,
+    gate_level_missed_reference,
+)
 from .verilog import generate_testbench, netlist_to_verilog, save_verilog
 
 __all__ = [
@@ -30,11 +44,20 @@ __all__ = [
     "netlist_fault_detected",
     "pack_input_bits",
     "bits_to_raw",
+    "CompiledNetlist",
+    "compile_netlist",
+    "compiled_program",
+    "DEFAULT_CHUNK",
+    "DEFAULT_WORDS",
     "EnumeratedFault",
     "enumerate_cell_faults",
     "gate_level_fault_simulation",
+    "schedule_fault_batches",
     "fault_parallel_detect",
+    "fault_parallel_grade",
+    "fault_parallel_reference",
     "gate_level_missed",
+    "gate_level_missed_reference",
     "netlist_to_verilog",
     "generate_testbench",
     "save_verilog",

@@ -2,9 +2,11 @@
 
 Because the elaborated netlists are feed-forward (FIR datapaths), every
 net can be evaluated over the whole time axis at once: a D flip-flop is a
-one-sample shift of its input waveform.  Each net's waveform is a boolean
-numpy array, and evaluation follows the netlist's creation order, which
-elaboration guarantees to be topological.
+one-sample shift of its input waveform.  Evaluation runs the netlist's
+**compiled levelized program** (:mod:`repro.gates.compiled`): per level,
+each gate kind's input waveforms are gathered with fancy indexing into a
+nets x time boolean matrix and combined with one numpy op — replacing the
+historical per-gate Python loop.
 
 This engine is the reproduction's ground truth: slower than the
 cell-level coverage engine in :mod:`repro.faultsim.engine`, but it models
@@ -59,20 +61,6 @@ def bits_to_raw(bits: np.ndarray) -> np.ndarray:
     return (unsigned + half) % (1 << width) - half
 
 
-def _gate_eval(kind: str, ins: List[np.ndarray]) -> np.ndarray:
-    if kind == "xor":
-        return ins[0] ^ ins[1]
-    if kind == "and":
-        return ins[0] & ins[1]
-    if kind == "or":
-        return ins[0] | ins[1]
-    if kind == "not":
-        return ~ins[0]
-    if kind == "buf":
-        return ins[0]
-    raise SimulationError(f"unknown gate kind {kind!r}")
-
-
 def simulate_netlist(
     nl: GateNetlist,
     input_raw: Sequence[int],
@@ -100,6 +88,23 @@ def simulate_netlist(
     return result
 
 
+def fault_lines(fault: Optional[NetlistFault]
+                ) -> Tuple[Optional[int], Dict[int, List[int]], bool]:
+    """Split a fault into (stuck_net, {gate: pins}, stuck_value)."""
+    if fault is None:
+        return None, {}, False
+    stuck_value = bool(fault.value)
+    kind, payload = fault.lines
+    if kind == "net":
+        return int(payload), {}, stuck_value  # type: ignore[arg-type]
+    if kind == "pins":
+        stuck_pins: Dict[int, List[int]] = {}
+        for gate, pin in payload:  # type: ignore[union-attr]
+            stuck_pins.setdefault(int(gate), []).append(int(pin))
+        return None, stuck_pins, stuck_value
+    raise SimulationError(f"unknown fault line kind {kind!r}")
+
+
 def _simulate_netlist_body(
     nl: GateNetlist,
     raw: np.ndarray,
@@ -107,53 +112,15 @@ def _simulate_netlist_body(
     fault: Optional[NetlistFault],
     observe_nets: Optional[Iterable[int]],
 ) -> Dict[str, object]:
-    values: Dict[int, np.ndarray] = {
-        nl.CONST0: np.zeros(length, dtype=bool),
-        nl.CONST1: np.ones(length, dtype=bool),
-    }
+    from .compiled import compiled_program, simulate_waves
+
+    prog = compiled_program(nl)
     in_bits = pack_input_bits(raw, len(nl.input_bits))
-    for j, net in enumerate(nl.input_bits):
-        values[net] = in_bits[j]
-
-    stuck_net: Optional[int] = None
-    stuck_pins: Dict[Tuple[int, int], bool] = {}
-    stuck_value = False
-    if fault is not None:
-        stuck_value = bool(fault.value)
-        kind, payload = fault.lines
-        if kind == "net":
-            stuck_net = int(payload)  # type: ignore[arg-type]
-            values[stuck_net] = np.full(length, stuck_value, dtype=bool)
-        elif kind == "pins":
-            for gate, pin in payload:  # type: ignore[union-attr]
-                stuck_pins[(int(gate), int(pin))] = stuck_value
-        else:
-            raise SimulationError(f"unknown fault line kind {kind!r}")
-
-    stuck_wave = np.full(length, stuck_value, dtype=bool)
-    for elem_kind, idx in nl.elements:
-        if elem_kind == "gate":
-            gate = nl.gates[idx]
-            if gate.out == stuck_net:
-                continue  # already forced
-            ins = []
-            for pin, net in enumerate(gate.ins):
-                if (idx, pin) in stuck_pins:
-                    ins.append(stuck_wave)
-                else:
-                    ins.append(values[net])
-            values[gate.out] = _gate_eval(gate.kind, ins)
-        else:
-            dff = nl.dffs[idx]
-            if dff.q == stuck_net:
-                continue
-            q = np.empty(length, dtype=bool)
-            q[0] = False
-            q[1:] = values[dff.d][:-1]
-            values[dff.q] = q
-
-    out_bits = np.stack([values[n] for n in nl.output_bits])
-    result: Dict[str, object] = {"output": bits_to_raw(out_bits)}
+    stuck_net, stuck_pins, stuck_value = fault_lines(fault)
+    values = simulate_waves(prog, in_bits, stuck_net=stuck_net,
+                            stuck_pins=stuck_pins, stuck_value=stuck_value)
+    result: Dict[str, object] = {
+        "output": bits_to_raw(values[prog.output_bits])}
     if observe_nets is not None:
         result["nets"] = {n: values[n] for n in observe_nets}
     return result

@@ -1,12 +1,16 @@
 """Distributed exact gate-level fault grading.
 
 :func:`repro.gates.fault_parallel.fault_parallel_detect` grades 64
-faults per topological pass; a full-universe cross-validation is
+faults per cone-restricted pass; a full-universe cross-validation is
 thousands of independent passes over one shared netlist and input
 sequence.  This module fans those 64-fault batches out across the
-process pool: the (netlist, inputs, golden, faults) payload ships once
+process pool: the (netlist, inputs, scheduled faults) payload ships once
 per worker through the pool initializer, tasks are bare batch offsets,
-and verdicts come back as tiny boolean arrays.
+and verdicts come back as tiny boolean arrays.  Each worker compiles the
+netlist program and simulates the golden machine once, lazily, on its
+first batch; faults are pre-ordered by the cone-aware scheduler
+(:func:`repro.gates.faults.schedule_fault_batches`) so every batch's
+union fanout cone stays small.
 
 A worker crash or timeout falls back to the parent-side serial engine,
 so the result is always the exact missed-fault list.
@@ -14,33 +18,51 @@ so the result is always the exact missed-fault list.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..gates.fault_parallel import fault_parallel_detect
+from ..gates.compiled import compiled_program, golden_net_waves
+from ..gates.fault_parallel import DEFAULT_WORDS, fault_parallel_grade
+from ..gates.faults import schedule_fault_batches
+from ..gates.gatesim import pack_input_bits
 from ..gates.netlist import GateNetlist
 from ..telemetry import get_telemetry
 from .pool import parallel_map
 
 __all__ = ["gate_level_missed_parallel"]
 
-#: One task grades this many faults (one packed machine word).
-BATCH = 64
+#: One task grades this many faults (one multi-word cone pass).
+BATCH = 64 * DEFAULT_WORDS
 
 #: Per-worker payload installed by :func:`_init_gate_worker`.
 _GATE_STATE: Dict[str, Any] = {}
 
 
 def _init_gate_worker(nl: GateNetlist, raw: np.ndarray,
-                      netlist_faults: Sequence, golden: np.ndarray) -> None:
-    _GATE_STATE["payload"] = (nl, raw, list(netlist_faults), golden)
+                      netlist_faults: Sequence) -> None:
+    _GATE_STATE["payload"] = (nl, raw, list(netlist_faults))
+    _GATE_STATE.pop("compiled", None)
+
+
+def _compiled_state(nl: GateNetlist, raw: np.ndarray) -> Tuple:
+    """(program, net_waves), compiled/simulated once per worker."""
+    state = _GATE_STATE.get("compiled")
+    if state is None:
+        prog = compiled_program(nl)
+        waves = golden_net_waves(prog,
+                                 pack_input_bits(raw, len(nl.input_bits)))
+        state = (prog, waves)
+        _GATE_STATE["compiled"] = state
+    return state
 
 
 def _grade_batch(start: int) -> np.ndarray:
-    nl, raw, netlist_faults, golden = _GATE_STATE["payload"]
+    nl, raw, netlist_faults = _GATE_STATE["payload"]
+    prog, waves = _compiled_state(nl, raw)
     batch = netlist_faults[start:start + BATCH]
-    return fault_parallel_detect(nl, raw, batch, golden=golden)
+    return fault_parallel_grade(nl, raw, batch, program=prog,
+                                net_waves=waves)
 
 
 def gate_level_missed_parallel(
@@ -57,45 +79,49 @@ def gate_level_missed_parallel(
 
     Drop-in parallel counterpart of
     :func:`repro.gates.fault_parallel.gate_level_missed`; identical
-    verdicts, ``ceil(F / 64)`` independent tasks.  Pass ``golden`` to
-    reuse a cached fault-free output waveform.
+    verdicts, ``ceil(F / 64)`` independent tasks.  (``golden`` is
+    accepted for backward compatibility; workers derive the golden
+    machine from their own compiled simulation.)
     """
     faults = list(faults)
     tel = get_telemetry()
     with tel.span("gates.fault_parallel_pool", faults=len(faults),
                   vectors=len(input_raw), jobs=jobs) as span:
         raw = np.asarray(input_raw, dtype=np.int64)
-        if golden is None:
-            from ..gates.gatesim import simulate_netlist
-
-            golden = simulate_netlist(nl, raw)["output"]
-        netlist_faults = [f.netlist_fault for f in faults]
+        # Cone-aware schedule: grade in locality order, then scatter the
+        # verdicts back so results are independent of the schedule.
+        order = [i for batch in schedule_fault_batches(faults, BATCH)
+                 for i in batch]
+        netlist_faults = [faults[i].netlist_fault for i in order]
         starts = list(range(0, len(netlist_faults), BATCH))
 
         def _serial(chunk: Sequence[int]) -> List[np.ndarray]:
+            prog = compiled_program(nl)
+            waves = golden_net_waves(
+                prog, pack_input_bits(raw, len(nl.input_bits)))
             out = []
             for start in chunk:
                 batch = netlist_faults[start:start + BATCH]
-                out.append(fault_parallel_detect(nl, raw, batch,
-                                                 golden=golden))
+                out.append(fault_parallel_grade(nl, raw, batch,
+                                                program=prog,
+                                                net_waves=waves))
             return out
 
         verdict_blocks = parallel_map(
             _grade_batch, starts, jobs=jobs, timeout=timeout,
             initializer=_init_gate_worker,
-            initargs=(nl, raw, netlist_faults, golden),
+            initargs=(nl, raw, netlist_faults),
             serial_fallback=_serial, label="gates.fault_pool")
 
-        missed = []
+        verdicts = np.zeros(len(faults), dtype=bool)
         done = 0
-        for start, verdicts in zip(starts, verdict_blocks):
-            batch = faults[start:start + BATCH]
-            for fault, hit in zip(batch, verdicts):
-                if not hit:
-                    missed.append(fault)
-            done = min(start + BATCH, len(faults))
+        for start, block in zip(starts, verdict_blocks):
+            batch_idx = order[start:start + BATCH]
+            verdicts[batch_idx] = block
+            done += len(batch_idx)
             if progress is not None:
                 progress(done, len(faults))
+        missed = [f for f, hit in zip(faults, verdicts) if not hit]
     if tel.enabled and span.duration > 0:
         tel.gauge("gates.faults_per_sec").set(len(faults) / span.duration)
     return missed
