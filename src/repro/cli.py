@@ -8,10 +8,15 @@ Commands
 ``spectrum``  Print a generator's power spectrum.
 ``table N``   Regenerate paper Table N.
 ``figure N``  Regenerate paper Figure N.
-``profile``   Profile a BIST session: span tree, rates, test-zone hits.
+``profile``   Profile a BIST session: span tree, rates, test-zone hits;
+              ``--jobs`` merges worker-process spans into one trace and
+              ``--export-trace`` writes Chrome-trace JSON.
 ``sweep``     Parallel design x generator coverage grid (cache-backed).
-``bench``     Serial-vs-parallel throughput benchmark -> JSON report.
+``bench``     Serial-vs-parallel throughput benchmark -> JSON report;
+              ``--report`` adds a self-contained HTML run report.
 ``serve``     Run the async BIST evaluation service (HTTP + JSON).
+``report``    Markdown paper report, or ``--trace`` for an HTML run
+              report rendered from a JSONL telemetry trace.
 
 Global flags: ``--version``, ``-v/--verbose`` (repeatable),
 ``--profile`` (log a telemetry summary for any command) and
@@ -52,6 +57,7 @@ from .telemetry import (
     Telemetry,
     ZoneTracer,
     format_span_tree,
+    get_telemetry,
     set_telemetry,
 )
 
@@ -125,10 +131,18 @@ def _build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=sorted(_FIGURES))
 
-    report = sub.add_parser("report", help="write the full markdown report")
+    report = sub.add_parser(
+        "report",
+        help="write the full markdown report, or an HTML run report "
+             "from a telemetry trace (--trace)")
     report.add_argument("--out", default="reproduction_report.md")
     report.add_argument("--only", choices=("tables", "figures"),
                         help="restrict to tables or figures")
+    report.add_argument("--trace", default=None, metavar="PATH",
+                        help="render an HTML run report (span waterfall, "
+                             "stage timings, cache hit rates) from a JSONL "
+                             "telemetry trace instead; --out defaults to "
+                             "the trace name with an .html suffix")
 
     export = sub.add_parser(
         "export", help="export a design (JSON / structural Verilog)")
@@ -150,6 +164,13 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="also grade the first N gate-level faults "
                               "with the exact cone engine and report its "
                               "cone/drop counters (0 = skip)")
+    profile.add_argument("--jobs", type=int, default=1,
+                         help="fan --exact grading across N worker "
+                              "processes; their spans merge into the "
+                              "profile's trace (default 1 = in-process)")
+    profile.add_argument("--export-trace", default=None, metavar="PATH",
+                         help="also write the session as a Chrome-trace "
+                              "JSON file (chrome://tracing, Perfetto)")
 
     def add_grid_flags(p, default_generators: str, default_vectors: int):
         p.add_argument("--designs", default="LP,BP,HP",
@@ -207,6 +228,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--gates-out", default="BENCH_gatesim.json",
                        help="report path for --gates "
                             "(default BENCH_gatesim.json)")
+    bench.add_argument("--report", default=None, metavar="PATH",
+                       help="also write a self-contained HTML run report "
+                            "(span waterfall, stage timings, cache hit "
+                            "rates) for the benchmark session")
 
     serve = sub.add_parser(
         "serve",
@@ -237,6 +262,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable the on-disk artifact cache")
     serve.add_argument("--access-log", default=None, metavar="PATH",
                        help="append per-request JSON Lines records to PATH")
+    serve.add_argument("--trace-out", dest="serve_trace_out", default=None,
+                       metavar="PATH",
+                       help="stream the service's telemetry events "
+                            "(request spans, job spans, metrics) to PATH "
+                            "as JSON Lines")
     return parser
 
 
@@ -272,10 +302,17 @@ def _cmd_profile(args, ctx: ExperimentContext, tel: Telemetry) -> int:
     if args.exact:
         from .gates import elaborate, enumerate_cell_faults, gate_level_missed
 
-        with tel.span("profile.exact", faults=args.exact):
+        with tel.span("profile.exact", faults=args.exact, jobs=args.jobs):
             nl = elaborate(design.graph)
             faults = enumerate_cell_faults(design.graph, nl)[:args.exact]
-            missed = gate_level_missed(nl, gen.sequence(args.vectors), faults)
+            if args.jobs and args.jobs != 1:
+                from .parallel.gatework import gate_level_missed_parallel
+
+                missed = gate_level_missed_parallel(
+                    nl, gen.sequence(args.vectors), faults, jobs=args.jobs)
+            else:
+                missed = gate_level_missed(nl, gen.sequence(args.vectors),
+                                           faults)
 
     print(coverage_summary(result))
     print()
@@ -295,6 +332,14 @@ def _cmd_profile(args, ctx: ExperimentContext, tel: Telemetry) -> int:
             print(f"  {'gates.faults_per_sec':24s} {fps:>12,.0f}")
     print()
     print(tracer.table())
+    if args.export_trace:
+        from .telemetry import collector_payload, write_chrome_trace
+
+        payload = collector_payload(tel)
+        events = list(payload["spans"]) + list(payload["metrics"])
+        write_chrome_trace(args.export_trace, events, trace_id=tel.trace_id)
+        print(f"\nwrote Chrome trace to {args.export_trace} "
+              f"(load in chrome://tracing or ui.perfetto.dev)")
     return 0
 
 
@@ -416,6 +461,13 @@ def _cmd_bench_gates(args) -> int:
     finally:
         set_telemetry(previous)
     counters = {key: tel.counter(key).value for key in _GATE_COUNTERS}
+    outer = get_telemetry()
+    if outer.enabled:
+        # Fold the isolated run's spans and counters into the session
+        # collector so --profile / --report sees the gate-sim pass too.
+        from .telemetry import collector_payload
+
+        outer.absorb(collector_payload(tel))
 
     t0 = time.perf_counter()
     missed_ref = gate_level_missed_reference(nl, raw, faults)
@@ -479,6 +531,40 @@ def _cmd_bench_gates(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if not args.report:
+        return _cmd_bench_gates(args) if args.gates else _cmd_bench_grid(args)
+
+    from .telemetry import InMemorySink, get_telemetry, write_run_report
+
+    # --report needs the benchmark's own telemetry: ride along on an
+    # already-active collector (--profile / --trace-out), else install
+    # one for the duration of the run.
+    current = get_telemetry()
+    sink = InMemorySink()
+    previous = None
+    if isinstance(current, Telemetry):
+        tel = current
+        tel.sinks.append(sink)
+    else:
+        tel = Telemetry(sinks=[sink])
+        previous = set_telemetry(tel)
+    try:
+        return _cmd_bench_gates(args) if args.gates else _cmd_bench_grid(args)
+    finally:
+        # Snapshot instruments into our private sink only — flushing the
+        # shared collector here would duplicate snapshots in its sinks.
+        for inst in tel.metrics().values():
+            sink.on_event(inst.to_event())
+        if previous is not None:
+            set_telemetry(previous)
+        else:
+            tel.sinks.remove(sink)
+        write_run_report(args.report, sink.events,
+                         title="repro bench report")
+        print(f"wrote bench report to {args.report}")
+
+
+def _cmd_bench_grid(args) -> int:
     import json
     import time
 
@@ -486,9 +572,6 @@ def _cmd_bench(args) -> int:
 
     from .parallel import resolve_jobs
     from .parallel.sweep import SweepTask, run_sweep
-
-    if args.gates:
-        return _cmd_bench_gates(args)
 
     designs, gens = _parse_grid(args)  # fail fast on bad names
     cache = _make_cache(args)
@@ -592,7 +675,7 @@ def _cmd_serve(args) -> int:
         result_ttl=args.result_ttl, rate=args.rate, burst=args.burst,
         drain_deadline=args.drain_deadline, grid_jobs=args.grid_jobs,
         cache_dir=args.cache_dir, no_cache=args.no_cache,
-        access_log=args.access_log)
+        access_log=args.access_log, trace_out=args.serve_trace_out)
 
     telemetry = None
     if args.access_log:
@@ -678,6 +761,20 @@ def _dispatch(args, tel: Optional[Telemetry]) -> int:
         return 0
 
     if args.command == "report":
+        if args.trace:
+            import os.path
+
+            from .telemetry import load_trace, write_run_report
+
+            out = args.out
+            if out == "reproduction_report.md":  # the markdown default
+                out = os.path.splitext(args.trace)[0] + ".html"
+            events = load_trace(args.trace)
+            write_run_report(
+                out, events,
+                title=f"repro run report — {os.path.basename(args.trace)}")
+            print(f"wrote {out}")
+            return 0
         from .experiments.report import save_report
         include = None
         if args.only == "tables":

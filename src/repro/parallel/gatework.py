@@ -14,6 +14,13 @@ union fanout cone stays small.
 
 A worker crash or timeout falls back to the parent-side serial engine,
 so the result is always the exact missed-fault list.
+
+When telemetry is enabled the pool propagates the trace into each
+worker (see :mod:`repro.telemetry.propagate`): the ``gates.fault_batch``
+spans a worker's :func:`fault_parallel_grade` emits merge back under the
+dispatching ``gates.fault_pool`` span, so pooled and serial-fallback
+runs produce identically shaped span trees — the only difference is the
+``pid`` on the batch spans.
 """
 
 from __future__ import annotations

@@ -25,10 +25,10 @@ import multiprocessing
 import os
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from ..errors import ParallelError
-from ..telemetry import get_telemetry
+from ..telemetry import TraceContext, child_collector, get_telemetry, set_telemetry
 
 __all__ = ["parallel_map", "resolve_jobs", "default_chunk_size"]
 
@@ -74,9 +74,33 @@ def _mp_context():
     return multiprocessing.get_context()
 
 
-def _run_chunk(fn: Callable, chunk: Sequence) -> List:
-    """Top-level (hence picklable) chunk runner executed in workers."""
-    return [fn(item) for item in chunk]
+def _pool_initializer(initializer: Optional[Callable],
+                      initargs: Sequence) -> None:
+    """Worker bootstrap wrapped around the caller's initializer.
+
+    Under the ``fork`` start method workers inherit the parent's
+    process-global collector — including open sink file handles.  Clear
+    it first so worker telemetry flows only through the per-chunk child
+    collectors and never writes into the parent's sinks.
+    """
+    set_telemetry(None)
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def _run_chunk(fn: Callable, chunk: Sequence,
+               trace: Optional[TraceContext] = None
+               ) -> Tuple[List, Optional[Dict[str, object]]]:
+    """Top-level (hence picklable) chunk runner executed in workers.
+
+    When the dispatching process traced the fan-out, ``trace`` names the
+    span this chunk belongs under; the chunk then runs inside a child
+    collector and the second element of the return value is the
+    merge-ready telemetry payload (``None`` when telemetry is off).
+    """
+    with child_collector(trace) as handle:
+        results = [fn(item) for item in chunk]
+    return results, handle.payload
 
 
 def _terminate_workers(executor: ProcessPoolExecutor) -> None:
@@ -129,8 +153,8 @@ def parallel_map(
             executor = ProcessPoolExecutor(
                 max_workers=min(n_jobs, len(chunks)),
                 mp_context=_mp_context(),
-                initializer=initializer,
-                initargs=tuple(initargs),
+                initializer=_pool_initializer,
+                initargs=(initializer, tuple(initargs)),
             )
         except (OSError, ValueError, PermissionError) as exc:
             logger.warning("%s: cannot start process pool (%s); "
@@ -139,16 +163,22 @@ def parallel_map(
                 tel.counter("parallel.pool_failures").add(1)
             return fallback(items)
 
+        # Captured while the dispatching span above is open, so worker
+        # chunk spans merge back as its children — one tree end to end.
+        trace = TraceContext.current()
         degraded: Optional[str] = None
         try:
-            futures = {executor.submit(_run_chunk, fn, chunk): idx
+            futures = {executor.submit(_run_chunk, fn, chunk, trace): idx
                        for idx, chunk in enumerate(chunks)}
             for future, idx in futures.items():
                 if degraded is not None:
                     future.cancel()
                     continue
                 try:
-                    results[idx] = future.result(timeout=timeout)
+                    chunk_out, payload = future.result(timeout=timeout)
+                    results[idx] = chunk_out
+                    if tel.enabled:
+                        tel.absorb(payload)
                 except FutureTimeoutError:
                     degraded = f"chunk timed out after {timeout:.1f}s"
                 except BrokenExecutor as exc:

@@ -14,7 +14,9 @@ Routes
 ``DELETE /v1/jobs/{id}``        cancel a queued job
 ``GET    /healthz``             liveness (always 200 while the process runs)
 ``GET    /readyz``              readiness (503 while warming or draining)
-``GET    /metrics``             telemetry counters/gauges/histograms as JSON
+``GET    /metrics``             telemetry counters/gauges/histograms; JSON by
+                                default, Prometheus text exposition when the
+                                ``Accept`` header asks for ``text/plain``
 
 Error envelope: ``{"error": "...", "status": N}``; 429/503 responses
 carry a ``Retry-After`` header.  Every served request is emitted as a
@@ -51,8 +53,10 @@ _STATUS_TEXT = {
 
 _JOB_PATH = re.compile(r"/v1/jobs/([A-Za-z0-9_.-]+)(/result)?")
 
-#: (status, payload, extra headers) triple every handler returns.
-Reply = Tuple[int, Dict[str, Any], Dict[str, str]]
+#: (status, payload, extra headers) triple every handler returns.  The
+#: payload is normally a JSON-able dict; a plain ``str`` is sent as-is
+#: with a text content type (the Prometheus ``/metrics`` exposition).
+Reply = Tuple[int, Any, Dict[str, str]]
 
 
 class _HttpError(ServiceError):
@@ -100,8 +104,14 @@ class HttpApi:
             query = parse_qs(split.query)
             client = headers.get("x-repro-client")
             try:
-                status, payload, extra = await self._route(
-                    method, path, query, headers, body)
+                # The request span is the root every downstream span —
+                # the job's worker-side spans included — hangs under.
+                # The per-context span stack makes this safe across
+                # concurrently served connections.
+                with get_telemetry().span("service.request", route=path,
+                                          method=method):
+                    status, payload, extra = await self._route(
+                        method, path, query, headers, body)
             except ServiceError as exc:
                 status, payload, extra = _error_reply(
                     exc.status, str(exc), exc.retry_after)
@@ -165,12 +175,17 @@ class HttpApi:
         return method, target, headers, body
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
-                       payload: Dict[str, Any],
+                       payload: Any,
                        extra: Optional[Dict[str, str]] = None) -> None:
-        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if isinstance(payload, str):
+            data = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         reason = _STATUS_TEXT.get(status, "Unknown")
         head = [f"HTTP/1.1 {status} {reason}",
-                "Content-Type: application/json",
+                f"Content-Type: {content_type}",
                 f"Content-Length: {len(data)}",
                 "Connection: close"]
         for name, value in (extra or {}).items():
@@ -193,7 +208,7 @@ class HttpApi:
         if path == "/readyz":
             return self.service.readyz()
         if path == "/metrics":
-            return self.service.metrics()
+            return self.service.metrics(accept=headers.get("accept", ""))
         if path == "/v1/jobs":
             if method != "POST":
                 return _error_reply(405, f"{method} not allowed on {path}")

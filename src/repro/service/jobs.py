@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..cache.keys import stable_hash
 from ..errors import ServiceError
 from ..resolve import resolve_design, resolve_generator, resolve_generator_key
+from ..telemetry import TraceContext
 
 __all__ = ["Job", "JobState", "JobStore", "JOB_KINDS", "BATCHABLE_KINDS",
            "PRIORITIES", "canonical_params"]
@@ -136,6 +137,9 @@ class Job:
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     coalesced: bool = False
+    #: Where this job hangs in the submitting request's trace; the
+    #: worker's spans merge back under it (None when telemetry is off).
+    trace: Optional[TraceContext] = field(default=None, repr=False)
     done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
 
     def finish(self, state: JobState, now: float, *,
@@ -162,6 +166,8 @@ class Job:
         }
         if self.idempotency_key is not None:
             doc["idempotency_key"] = self.idempotency_key
+        if self.trace is not None:
+            doc["trace_id"] = self.trace.trace_id
         if self.started is not None:
             doc["started_unix"] = self.started
             doc["queued_seconds"] = self.started - self.created

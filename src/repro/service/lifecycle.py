@@ -27,7 +27,8 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..errors import ServiceError
 from ..experiments import ExperimentContext
-from ..telemetry import Telemetry, get_telemetry, set_telemetry
+from ..telemetry import (JsonlSink, Telemetry, TraceContext, get_telemetry,
+                         prometheus_exposition, set_telemetry)
 from .http import HttpApi, _error_reply, job_reply, result_reply
 from .jobs import JobState, JobStore
 from .queue import FairJobQueue, RateLimiter
@@ -56,6 +57,7 @@ class ServiceConfig:
     cache_dir: Optional[str] = None
     no_cache: bool = False
     access_log: Optional[str] = None
+    trace_out: Optional[str] = None  # stream telemetry events as JSONL
 
 
 class EvaluationService:
@@ -86,6 +88,7 @@ class EvaluationService:
         self._shutdown_task: Optional["asyncio.Task"] = None
         self._previous_telemetry = None
         self._owns_telemetry = False
+        self._trace_sink: Optional[JsonlSink] = None
         self.host: Optional[str] = None
         self.port: Optional[int] = None
 
@@ -113,6 +116,14 @@ class EvaluationService:
             self.telemetry = Telemetry()
             self._previous_telemetry = set_telemetry(self.telemetry)
             self._owns_telemetry = True
+        if self.config.trace_out:
+            # Opened eagerly so an unwritable path fails startup, not
+            # the first request.
+            self._trace_sink = JsonlSink(self.config.trace_out)
+            self._trace_sink.open()
+            active = self.telemetry if self.telemetry is not None \
+                else get_telemetry()
+            active.sinks.append(self._trace_sink)
         self._loop = asyncio.get_running_loop()
         self._stopped = asyncio.Event()
         self._server = await asyncio.start_server(
@@ -182,6 +193,13 @@ class EvaluationService:
             set_telemetry(self._previous_telemetry)
             assert self.telemetry is not None
             self.telemetry.close()
+        elif self._trace_sink is not None:
+            # The collector was adopted from the caller: detach and
+            # close only the sink this service attached.
+            if isinstance(tel, Telemetry) and self._trace_sink in tel.sinks:
+                tel.sinks.remove(self._trace_sink)
+            self._trace_sink.close()
+        self._trace_sink = None
         self.pool.executor.shutdown(wait=False)
         summary = {
             "done": self.pool.jobs_done,
@@ -226,6 +244,9 @@ class EvaluationService:
             idempotency_key=idem)
         if not created:
             return job_reply(job, 200, cache="hit")
+        # Captured inside the request span, so the worker's spans merge
+        # back under the request that submitted the job.
+        job.trace = TraceContext.current()
         try:
             self.queue.put_nowait(job)
         except ServiceError:
@@ -294,21 +315,36 @@ class EvaluationService:
             return _error_reply(503, "warming up", retry_after=1.0)
         return 200, {"status": "ready"}, {}
 
-    def metrics(self):
+    def metrics(self, accept: str = ""):
         tel = self.telemetry if self.telemetry is not None \
             else get_telemetry()
+        events = [inst.to_event() for inst in tel.metrics().values()]
+        if "text/plain" in accept.lower():
+            # Prometheus scrape: instrument snapshots plus the live
+            # service-level gauges, in text exposition format.
+            events.extend({"type": "gauge", "name": f"service.{name}",
+                           "value": value} for name, value in (
+                ("uptime_seconds", time.time() - self.started_unix),
+                ("ready", int(self.ready)),
+                ("draining", int(self.draining)),
+                ("queue_depth", len(self.queue)),
+                ("inflight", self.pool.inflight),
+            ))
+            return 200, prometheus_exposition(events), {}
         counters: Dict[str, Any] = {}
         gauges: Dict[str, Any] = {}
         histograms: Dict[str, Any] = {}
-        for name, inst in sorted(tel.metrics().items()):
-            event = inst.to_event()
+        for event in sorted(events, key=lambda e: str(e["name"])):
+            name = str(event["name"])
             if event["type"] == "counter":
                 counters[name] = event["value"]
             elif event["type"] == "gauge":
                 gauges[name] = event["value"]
             else:
-                histograms[name] = {k: event[k]
-                                    for k in ("count", "sum", "min", "max")}
+                histograms[name] = {
+                    k: event[k] for k in
+                    ("count", "sum", "min", "max", "edges", "counts",
+                     "p50", "p90", "p99") if k in event}
         doc = {
             "service": {
                 "uptime_seconds": time.time() - self.started_unix,

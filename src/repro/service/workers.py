@@ -36,7 +36,7 @@ from ..analysis.spectrum import generator_spectrum, power_db
 from ..bist.selection import propose_scheme, rank_generators
 from ..errors import ServiceError
 from ..resolve import make_generator
-from ..telemetry import get_telemetry
+from ..telemetry import TraceContext, child_collector, get_telemetry
 from .jobs import BATCHABLE_KINDS, Job, JobState, JobStore
 from .queue import FairJobQueue, QueueClosedError
 
@@ -182,6 +182,26 @@ def _execute_batch(ctx, kind: str, params_list: List[Dict[str, Any]],
     return [_execute_safe(ctx, kind, p) for p in params_list]
 
 
+def _execute_batch_traced(ctx, kind: str, params_list: List[Dict[str, Any]],
+                          grid_jobs: Optional[int],
+                          trace: Optional[TraceContext]
+                          ) -> Tuple[List[Outcome], Optional[Dict[str, Any]]]:
+    """Executor entry point with trace propagation.
+
+    Runs the batch on the executor thread inside a child collector
+    joined to ``trace`` (the span of the HTTP request that submitted
+    the batch's first leader), wrapped in a ``service.job`` span.  Any
+    process-pool fan-out below (grade grids) propagates the same trace
+    further, so the merged payload carries the full request → job →
+    chunk span chain.
+    """
+    with child_collector(trace) as handle:
+        tel = get_telemetry()
+        with tel.span("service.job", kind=kind, jobs=len(params_list)):
+            outcomes = _execute_batch(ctx, kind, params_list, grid_jobs)
+    return outcomes, handle.payload
+
+
 # ----------------------------------------------------------------------
 # The pool
 # ----------------------------------------------------------------------
@@ -301,14 +321,20 @@ class WorkerPool:
         if tel.enabled:
             tel.counter("service.batches").add(1)
             tel.histogram("service.batch_size").observe(len(leaders))
+        # A coalesced batch can span several requests; the merged trace
+        # hangs under the first leader's submitting request.
+        trace = leaders[0].trace
         with tel.span("service.batch", kind=kind, jobs=len(leaders)):
             try:
-                outcomes = await loop.run_in_executor(
-                    self.executor, _execute_batch, self.context, kind,
-                    [j.params for j in leaders], self.grid_jobs)
+                outcomes, payload = await loop.run_in_executor(
+                    self.executor, _execute_batch_traced, self.context,
+                    kind, [j.params for j in leaders], self.grid_jobs,
+                    trace)
             except Exception as exc:  # executor itself failed
-                outcomes = [("error", f"{type(exc).__name__}: {exc}")
-                            for _ in leaders]
+                outcomes, payload = [("error", f"{type(exc).__name__}: {exc}")
+                                     for _ in leaders], None
+            if tel.enabled:
+                tel.absorb(payload)
         for job, outcome in zip(leaders, outcomes):
             fut = self._inflight.pop(job.cache_key, None)
             if fut is not None and not fut.done():

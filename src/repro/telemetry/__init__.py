@@ -29,8 +29,17 @@ from .collector import (
     set_telemetry,
     telemetry_session,
     traced,
+    use_telemetry,
+)
+from .export import (
+    chrome_trace_document,
+    chrome_trace_events,
+    prometheus_exposition,
+    write_chrome_trace,
 )
 from .metrics import NULL_INSTRUMENT, Counter, Gauge, Histogram
+from .propagate import TraceContext, child_collector, collector_payload
+from .report import load_trace, render_run_report, write_run_report
 from .sinks import (
     InMemorySink,
     JsonlSink,
@@ -40,7 +49,7 @@ from .sinks import (
     reconstruct_spans,
     summarize_metrics,
 )
-from .spans import Span, format_duration, format_span_tree
+from .spans import Span, format_duration, format_span_tree, new_trace_id
 from .zones import ZoneTracer
 
 __all__ = [
@@ -57,13 +66,25 @@ __all__ = [
     "Span",
     "Telemetry",
     "TelemetrySink",
+    "TraceContext",
     "ZoneTracer",
+    "child_collector",
+    "chrome_trace_document",
+    "chrome_trace_events",
+    "collector_payload",
     "format_duration",
     "format_span_tree",
     "get_telemetry",
+    "load_trace",
+    "new_trace_id",
+    "prometheus_exposition",
     "reconstruct_spans",
+    "render_run_report",
     "set_telemetry",
     "summarize_metrics",
     "telemetry_session",
     "traced",
+    "use_telemetry",
+    "write_chrome_trace",
+    "write_run_report",
 ]

@@ -31,15 +31,18 @@ Usage::
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import functools
 import itertools
+import logging
+import os
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import TelemetryError
 from .metrics import NULL_INSTRUMENT, Counter, Gauge, Histogram
-from .sinks import TelemetrySink, summarize_metrics
-from .spans import Span, format_span_tree
+from .sinks import TelemetrySink, reconstruct_spans, summarize_metrics
+from .spans import Span, format_span_tree, new_trace_id
 
 __all__ = [
     "Telemetry",
@@ -49,20 +52,41 @@ __all__ = [
     "set_telemetry",
     "telemetry_session",
     "traced",
+    "use_telemetry",
 ]
+
+logger = logging.getLogger("repro.telemetry")
 
 
 class Telemetry:
-    """An enabled collector: hierarchical spans + typed metrics + sinks."""
+    """An enabled collector: hierarchical spans + typed metrics + sinks.
+
+    The active-span stack lives in a :class:`~contextvars.ContextVar`,
+    so spans opened on different asyncio tasks or executor threads nest
+    correctly within their own context instead of interleaving on one
+    shared stack.  Every collector carries a ``trace_id`` (inherited by
+    child collectors spawned for worker processes) and hands out string
+    span ids that stay unique across processes.
+    """
 
     enabled = True
 
-    def __init__(self, sinks: Optional[Iterable[TelemetrySink]] = None):
+    def __init__(self, sinks: Optional[Iterable[TelemetrySink]] = None, *,
+                 trace_id: Optional[str] = None,
+                 parent_span_id: Optional[str] = None):
         self.sinks: List[TelemetrySink] = list(sinks or ())
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self.trace_id = trace_id if trace_id else new_trace_id()
+        self.parent_span_id = parent_span_id
         self._metrics: Dict[str, object] = {}
+        self._sid_prefix = os.urandom(4).hex()
         self._sid = itertools.count(1)
+        self._spans_by_id: Dict[str, Span] = {}
+        self._stack_var: "contextvars.ContextVar[Tuple[Span, ...]]" = \
+            contextvars.ContextVar("repro_telemetry_stack", default=())
+
+    def _next_sid(self) -> str:
+        return f"{self._sid_prefix}-{next(self._sid):x}"
 
     # ------------------------------------------------------------------
     # Spans
@@ -70,11 +94,15 @@ class Telemetry:
     @contextlib.contextmanager
     def span(self, name: str, **attrs):
         """Time a region; nests under the innermost open span."""
-        parent = self._stack[-1] if self._stack else None
-        sp = Span(name=name, sid=next(self._sid),
-                  parent_id=None if parent is None else parent.sid,
+        stack = self._stack_var.get()
+        parent = stack[-1] if stack else None
+        sp = Span(name=name, sid=self._next_sid(),
+                  parent_id=self.parent_span_id if parent is None
+                  else parent.sid,
+                  trace_id=self.trace_id, pid=os.getpid(),
                   attrs=attrs)
-        self._stack.append(sp)
+        self._spans_by_id[sp.sid] = sp
+        token = self._stack_var.set(stack + (sp,))
         sp.start = time.perf_counter()
         try:
             yield sp
@@ -83,13 +111,71 @@ class Telemetry:
             raise
         finally:
             sp.end = time.perf_counter()
-            self._stack.pop()
+            self._stack_var.reset(token)
             (self.roots if parent is None else parent.children).append(sp)
             self._emit(sp.to_event())
 
     @property
     def current_span(self) -> Optional[Span]:
-        return self._stack[-1] if self._stack else None
+        stack = self._stack_var.get()
+        return stack[-1] if stack else None
+
+    def find_span(self, span_id: str) -> Optional[Span]:
+        """The (open or finished) span with this id, if this collector
+        created or absorbed it."""
+        return self._spans_by_id.get(span_id)
+
+    # ------------------------------------------------------------------
+    # Cross-process merging
+    # ------------------------------------------------------------------
+    def absorb(self, payload: Optional[Dict[str, object]]) -> None:
+        """Merge a child collector's shipped payload into this one.
+
+        ``payload`` is what :func:`repro.telemetry.propagate.child_collector`
+        captured in a worker: finished span events plus instrument
+        snapshots.  Spans are re-emitted to this collector's sinks and
+        grafted into the live tree under the span named by their
+        ``parent`` id (the dispatching span); metric snapshots merge
+        into this collector's instruments (counters add, gauges adopt
+        the child's last value, histograms merge bucket-wise).
+        """
+        if not payload:
+            return
+        span_events = list(payload.get("spans") or ())
+        for event in span_events:
+            self._emit(event)
+        for root in reconstruct_spans(span_events):
+            self._graft(root)
+        for event in payload.get("metrics") or ():
+            try:
+                self._merge_metric(event)
+            except TelemetryError as exc:
+                logger.warning("dropping unmergeable child metric %r: %s",
+                               event.get("name"), exc)
+
+    def _graft(self, root: Span) -> None:
+        stack = [root]
+        while stack:
+            sp = stack.pop()
+            self._spans_by_id[sp.sid] = sp
+            stack.extend(sp.children)
+        parent = None if root.parent_id is None \
+            else self._spans_by_id.get(root.parent_id)
+        if parent is not None and parent is not root:
+            parent.children.append(root)
+        else:
+            self.roots.append(root)
+
+    def _merge_metric(self, event: Dict[str, object]) -> None:
+        kind = event.get("type")
+        name = str(event.get("name"))
+        if kind == "counter":
+            self.counter(name).add(event.get("value") or 0)
+        elif kind == "gauge":
+            if event.get("value") is not None:
+                self.gauge(name).set(event["value"])
+        elif kind == "histogram":
+            self.histogram(name, edges=event.get("edges")).merge_event(event)
 
     # ------------------------------------------------------------------
     # Metrics
@@ -216,6 +302,9 @@ class NullTelemetry:
     def metrics(self) -> Dict[str, object]:
         return {}
 
+    def absorb(self, payload: Optional[Dict[str, object]]) -> None:
+        pass
+
     def event(self, kind: str, **fields) -> None:
         pass
 
@@ -233,21 +322,46 @@ NULL_TELEMETRY = NullTelemetry()
 
 _current: Union[Telemetry, NullTelemetry] = NULL_TELEMETRY
 
+#: Context-local override of the process-wide collector.  Worker
+#: threads and child-collector sessions install through this so the
+#: override is scoped to their own context instead of the whole process.
+_override: "contextvars.ContextVar[Optional[Union[Telemetry, NullTelemetry]]]" = \
+    contextvars.ContextVar("repro_telemetry_override", default=None)
+
 
 def get_telemetry() -> Union[Telemetry, NullTelemetry]:
-    """The process-wide current collector (the no-op one by default)."""
-    return _current
+    """The current collector: a context-local override if one is
+    installed (see :func:`use_telemetry`), else the process-wide one
+    (the no-op collector by default)."""
+    override = _override.get()
+    return _current if override is None else override
 
 
 def set_telemetry(
     tel: Optional[Union[Telemetry, NullTelemetry]]
 ) -> Union[Telemetry, NullTelemetry]:
-    """Install ``tel`` (or the null collector for ``None``); returns the
-    previously installed collector so callers can restore it."""
+    """Install ``tel`` (or the null collector for ``None``) process-wide;
+    returns the previously installed collector so callers can restore
+    it."""
     global _current
     previous = _current
     _current = NULL_TELEMETRY if tel is None else tel
     return previous
+
+
+@contextlib.contextmanager
+def use_telemetry(tel: Union[Telemetry, NullTelemetry]):
+    """Make ``tel`` the current collector for this context only.
+
+    Unlike :func:`set_telemetry`, the override is scoped to the calling
+    context (thread / asyncio task), so concurrent workers can each run
+    under their own child collector without fighting over the global.
+    """
+    token = _override.set(tel)
+    try:
+        yield tel
+    finally:
+        _override.reset(token)
 
 
 @contextlib.contextmanager

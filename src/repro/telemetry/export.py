@@ -1,0 +1,207 @@
+"""Trace and metric exporters: Chrome-trace JSON and Prometheus text.
+
+Two interchange formats for the telemetry a run collects:
+
+* :func:`chrome_trace_document` / :func:`write_chrome_trace` render span
+  events in the ``trace_event`` format that Perfetto and
+  ``chrome://tracing`` load directly — every span becomes one complete
+  (``"ph": "X"``) event with microsecond ``ts``/``dur`` and the
+  emitting process as its ``pid``/``tid`` track, so a pooled run shows
+  the parent and each worker side by side on one timeline.
+* :func:`prometheus_exposition` renders instrument snapshots in the
+  Prometheus text exposition format (version 0.0.4): counters as
+  ``_total`` samples, gauges verbatim, histograms with cumulative
+  ``_bucket{le=...}`` series plus a derived ``_quantiles`` summary
+  carrying the p50/p90/p99 estimates.
+
+Both consume the same flat event dicts every sink sees, so they work
+equally on a live collector (via
+:func:`~repro.telemetry.propagate.collector_payload`), an
+:class:`~repro.telemetry.sinks.InMemorySink` buffer, or a JSONL trace
+file read back from disk.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "chrome_trace_events",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "prometheus_exposition",
+    "prometheus_name",
+]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace (trace_event format)
+# ----------------------------------------------------------------------
+def chrome_trace_events(events: Iterable[Dict[str, object]]
+                        ) -> List[Dict[str, object]]:
+    """Span events as ``trace_event`` dicts (one ``"X"`` event each).
+
+    Timing is exact: ``ts``/``dur`` are the span's ``start``/``duration``
+    in microseconds, and the span/parent/trace ids ride in ``args`` so
+    parentage survives the export losslessly.
+    """
+    out: List[Dict[str, object]] = []
+    pids = []
+    for e in events:
+        if e.get("type") != "span":
+            continue
+        pid = int(e.get("pid") or 0)
+        if pid not in pids:
+            pids.append(pid)
+        name = str(e["name"])
+        args: Dict[str, object] = {
+            "id": e["id"],
+            "parent": e.get("parent"),
+            "trace": e.get("trace"),
+        }
+        args.update(dict(e.get("attrs") or {}))
+        if e.get("error"):
+            args["error"] = e["error"]
+        out.append({
+            "name": name,
+            "cat": name.split(".", 1)[0],
+            "ph": "X",
+            "ts": float(e["start"]) * 1e6,
+            "dur": float(e["duration"]) * 1e6,
+            "pid": pid,
+            "tid": pid,
+            "args": args,
+        })
+    # Metadata events label each process track; they carry the same
+    # required keys (ph/ts/pid/tid/name) as the timed events.
+    for i, pid in enumerate(sorted(pids)):
+        role = "parent" if i == 0 else f"worker {i}"
+        out.append({
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0.0,
+            "pid": pid,
+            "tid": pid,
+            "args": {"name": f"repro {role} (pid {pid})"},
+        })
+    return out
+
+
+def chrome_trace_document(events: Iterable[Dict[str, object]], *,
+                          trace_id: Optional[str] = None
+                          ) -> Dict[str, object]:
+    """The full JSON-object form of the trace (``traceEvents`` + meta)."""
+    events = list(events)
+    if trace_id is None:
+        for e in events:
+            if e.get("type") == "span" and e.get("trace"):
+                trace_id = str(e["trace"])
+                break
+    return {
+        "traceEvents": chrome_trace_events(events),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.telemetry.export",
+            "trace_id": trace_id or "",
+        },
+    }
+
+
+def write_chrome_trace(path: str, events: Iterable[Dict[str, object]], *,
+                       trace_id: Optional[str] = None) -> None:
+    """Write the Chrome-trace JSON document to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace_document(events, trace_id=trace_id), fh,
+                  indent=1)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """A telemetry metric name as a valid Prometheus metric name."""
+    flat = _NAME_BAD.sub("_", str(name))
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if not flat or flat[0].isdigit():
+        flat = f"_{flat}"
+    return flat
+
+
+def _fmt(value: object) -> str:
+    """A sample value in exposition syntax (integers stay integral)."""
+    number = float(value)  # type: ignore[arg-type]
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def prometheus_exposition(events: Iterable[Dict[str, object]], *,
+                          prefix: str = "repro",
+                          help_text: Optional[Dict[str, str]] = None
+                          ) -> str:
+    """Instrument snapshot events as Prometheus text format 0.0.4.
+
+    Counters become ``<name>_total``, gauges keep their name (unset
+    gauges are skipped), histograms emit cumulative ``_bucket{le=...}``
+    series with ``_sum``/``_count`` plus a ``_quantiles`` summary with
+    the p50/p90/p99 estimates.  Later snapshots of the same metric name
+    replace earlier ones, so flushing a collector twice cannot
+    double-report.
+    """
+    help_text = help_text or {}
+    latest: Dict[str, Dict[str, object]] = {}
+    for e in events:
+        if e.get("type") in ("counter", "gauge", "histogram"):
+            latest[str(e["name"])] = e
+
+    lines: List[str] = []
+
+    def header(metric: str, kind: str, source: str) -> None:
+        doc = help_text.get(source, f"repro telemetry metric {source}")
+        lines.append(f"# HELP {metric} {_escape_help(doc)}")
+        lines.append(f"# TYPE {metric} {kind}")
+
+    for name in sorted(latest):
+        e = latest[name]
+        base = prometheus_name(name, prefix)
+        if e["type"] == "counter":
+            metric = base if base.endswith("_total") else f"{base}_total"
+            header(metric, "counter", name)
+            lines.append(f"{metric} {_fmt(e['value'])}")
+        elif e["type"] == "gauge":
+            if e.get("value") is None:
+                continue
+            header(base, "gauge", name)
+            lines.append(f"{base} {_fmt(e['value'])}")
+        else:
+            header(base, "histogram", name)
+            edges = [float(x) for x in e["edges"]]  # type: ignore[index]
+            counts = [int(c) for c in e["counts"]]  # type: ignore[index]
+            cumulative = 0
+            for edge, count in zip(edges, counts):
+                cumulative += count
+                lines.append(f'{base}_bucket{{le="{edge:g}"}} {cumulative}')
+            lines.append(f'{base}_bucket{{le="+Inf"}} {_fmt(e["count"])}')
+            lines.append(f"{base}_sum {_fmt(e['sum'])}")
+            lines.append(f"{base}_count {_fmt(e['count'])}")
+            if all(key in e for key in ("p50", "p90", "p99")):
+                summary = f"{base}_quantiles"
+                header(summary, "summary", name)
+                for key, q in (("p50", "0.5"), ("p90", "0.9"),
+                               ("p99", "0.99")):
+                    lines.append(
+                        f'{summary}{{quantile="{q}"}} {_fmt(e[key])}')
+                lines.append(f"{summary}_sum {_fmt(e['sum'])}")
+                lines.append(f"{summary}_count {_fmt(e['count'])}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -105,6 +105,66 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 < q <= 1``) from the buckets.
+
+        Linear interpolation inside the bucket holding the target rank;
+        the open-ended first/last buckets are bounded by the observed
+        ``min``/``max``, so estimates never leave the observed range.
+        """
+        if not 0.0 < q <= 1.0:
+            raise TelemetryError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = np.cumsum(self.counts)
+        i = int(np.searchsorted(cum, target, side="left"))
+        i = min(i, self.counts.size - 1)
+        lo = self.min if i == 0 else float(self.edges[i - 1])
+        hi = self.max if i == self.counts.size - 1 else float(self.edges[i])
+        lo = max(lo, self.min)
+        hi = min(hi, self.max)
+        if hi <= lo:
+            return float(lo)
+        below = float(cum[i - 1]) if i > 0 else 0.0
+        in_bucket = float(self.counts[i])
+        frac = (target - below) / in_bucket if in_bucket else 1.0
+        return float(lo + min(max(frac, 0.0), 1.0) * (hi - lo))
+
+    #: The summary quantiles surfaced in events, ``render()`` and the
+    #: exporters.
+    SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+
+    def summary(self) -> Dict[str, float]:
+        """``{"p50": ..., "p90": ..., "p99": ...}`` estimates."""
+        return {f"p{int(round(q * 100))}": self.percentile(q)
+                for q in self.SUMMARY_QUANTILES}
+
+    def merge_event(self, event: Dict[str, object]) -> None:
+        """Fold another histogram's snapshot event into this one.
+
+        Used when merging worker-process telemetry payloads; both sides
+        must have been created with the same bucket edges.
+        """
+        edges = np.asarray(event["edges"], dtype=float)
+        if edges.shape != self.edges.shape or not np.all(edges == self.edges):
+            raise TelemetryError(
+                f"histogram {self.name!r} bucket edges differ between "
+                f"processes; cannot merge")
+        counts = np.asarray(event["counts"], dtype=np.int64)
+        if counts.shape != self.counts.shape:
+            raise TelemetryError(
+                f"histogram {self.name!r} bucket counts differ in shape")
+        if not event.get("count"):
+            return
+        self.counts += counts
+        self.count += int(event["count"])  # type: ignore[arg-type]
+        self.total += float(event["sum"])  # type: ignore[arg-type]
+        if event.get("min") is not None:
+            self.min = min(self.min, float(event["min"]))  # type: ignore[arg-type]
+        if event.get("max") is not None:
+            self.max = max(self.max, float(event["max"]))  # type: ignore[arg-type]
+
     def bucket_label(self, i: int) -> str:
         if i == 0:
             return f"<{self.edges[0]:g}"
@@ -113,7 +173,7 @@ class Histogram:
         return f"[{self.edges[i - 1]:g},{self.edges[i]:g})"
 
     def to_event(self) -> Dict[str, object]:
-        return {
+        event: Dict[str, object] = {
             "type": "histogram",
             "name": self.name,
             "edges": [float(e) for e in self.edges],
@@ -123,6 +183,9 @@ class Histogram:
             "min": None if self.count == 0 else self.min,
             "max": None if self.count == 0 else self.max,
         }
+        if self.count:
+            event.update(self.summary())
+        return event
 
 
 class NullInstrument:

@@ -172,12 +172,14 @@ def reconstruct_spans(events: List[Dict[str, object]]) -> List[Span]:
     linking by id restores the tree, and start-time ordering restores
     the call order at each level.
     """
-    spans: Dict[int, Span] = {}
+    spans: Dict[str, Span] = {}
     for e in events:
         if e["type"] != "span":
             continue
-        sp = Span(name=str(e["name"]), sid=int(e["id"]),
-                  parent_id=None if e["parent"] is None else int(e["parent"]),
+        sp = Span(name=str(e["name"]), sid=str(e["id"]),
+                  parent_id=None if e["parent"] is None else str(e["parent"]),
+                  trace_id=str(e.get("trace") or ""),
+                  pid=int(e.get("pid") or 0),
                   attrs=dict(e.get("attrs") or {}),
                   start=float(e["start"]))
         sp.end = sp.start + float(e["duration"])
@@ -210,8 +212,10 @@ def summarize_metrics(events: List[Dict[str, object]]) -> str:
         if not e["count"]:
             continue
         mean = e["sum"] / e["count"]
+        quantiles = "".join(f" {key}={e[key]:.4g}"
+                            for key in ("p50", "p90", "p99") if key in e)
         lines.append(f"  {e['name']}: n={e['count']} mean={mean:.4g} "
-                     f"min={e['min']:.4g} max={e['max']:.4g}")
+                     f"min={e['min']:.4g} max={e['max']:.4g}{quantiles}")
         hist = Histogram(str(e["name"]), edges=e["edges"])
         buckets = [f"{hist.bucket_label(i)}:{c}"
                    for i, c in enumerate(e["counts"]) if c]

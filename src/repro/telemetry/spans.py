@@ -9,19 +9,33 @@ for where the wall time went.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["Span", "format_duration", "format_span_tree"]
+__all__ = ["Span", "format_duration", "format_span_tree", "new_trace_id"]
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit hex trace id, unique across processes and runs."""
+    return os.urandom(8).hex()
 
 
 @dataclass
 class Span:
-    """One timed region; ``duration`` is valid once the span has ended."""
+    """One timed region; ``duration`` is valid once the span has ended.
+
+    ``sid`` and ``parent_id`` are stable string ids (collector prefix +
+    sequence number), unique across processes, so span trees survive
+    serialization and cross-process merging; ``trace_id`` groups every
+    span of one logical run and ``pid`` records the emitting process.
+    """
 
     name: str
-    sid: int
-    parent_id: Optional[int] = None
+    sid: str
+    parent_id: Optional[str] = None
+    trace_id: str = ""
+    pid: int = 0
     attrs: Dict[str, object] = field(default_factory=dict)
     start: float = 0.0
     end: Optional[float] = None
@@ -44,6 +58,8 @@ class Span:
             "type": "span",
             "id": self.sid,
             "parent": self.parent_id,
+            "trace": self.trace_id,
+            "pid": self.pid,
             "name": self.name,
             "start": self.start,
             "duration": self.duration,

@@ -57,6 +57,39 @@ class TestHealthAndMetrics:
         assert "service.requests" in doc["counters"]
         assert "service.request_seconds" in doc["histograms"]
 
+    def test_metrics_json_histograms_carry_buckets(self, client):
+        client.run("spectrum", {"generator": "ramp", "width": 8,
+                                "points": 2})
+        hist = client.metrics()["histograms"]["service.request_seconds"]
+        assert hist["count"] >= 1
+        assert len(hist["counts"]) == len(hist["edges"]) + 1
+        assert {"p50", "p90", "p99"} <= set(hist)
+
+    def test_metrics_prometheus_negotiated(self, client, svc):
+        client.run("spectrum", {"generator": "ramp", "width": 8,
+                                "points": 2})
+        raw = raw_request(
+            svc,
+            b"GET /metrics HTTP/1.1\r\nHost: x\r\n"
+            b"Accept: text/plain\r\nConnection: close\r\n\r\n")
+        head, _, body = raw.partition(b"\r\n\r\n")
+        header_text = head.decode("ascii")
+        assert header_text.startswith("HTTP/1.1 200")
+        assert "text/plain; version=0.0.4; charset=utf-8" in header_text
+        text = body.decode("utf-8")
+        assert "# TYPE repro_service_requests_total counter" in text
+        assert "# TYPE repro_service_request_seconds histogram" in text
+        assert 'repro_service_request_seconds_bucket{le="+Inf"}' in text
+        assert "repro_service_ready 1" in text
+        # No Accept header (the stdlib client) keeps the JSON document.
+        raw = raw_request(
+            svc,
+            b"GET /metrics HTTP/1.1\r\nHost: x\r\n"
+            b"Connection: close\r\n\r\n")
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"application/json" in head
+        assert "service" in json.loads(body.decode("utf-8"))
+
 
 class TestJobEndpoints:
     def test_submit_poll_result_roundtrip(self, client):
