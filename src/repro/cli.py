@@ -17,10 +17,17 @@ Commands
 ``serve``     Run the async BIST evaluation service (HTTP + JSON).
 ``report``    Markdown paper report, or ``--trace`` for an HTML run
               report rendered from a JSONL telemetry trace.
+``runs``      Query the append-only run ledger: ``list``, ``show``,
+              ``compare``, ``trend`` (history-aware regression gate),
+              ``validate``, and ``watch`` (live progress of a service
+              job over the SSE stream).
 
 Global flags: ``--version``, ``-v/--verbose`` (repeatable),
 ``--profile`` (log a telemetry summary for any command) and
 ``--trace-out PATH`` (stream telemetry events as JSON Lines).
+``sweep``/``bench``/``profile``/``serve`` additionally take
+``--ledger-dir PATH`` / ``--no-ledger`` controlling where (whether)
+the run is recorded in the run ledger.
 """
 
 from __future__ import annotations
@@ -43,6 +50,15 @@ from .experiments.render import series_block
 from .faultsim import run_fault_coverage
 from .faultsim.report import coverage_summary, missed_fault_map
 from .filters import design_statistics
+from .ledger import (
+    RUN_KINDS,
+    RunLedger,
+    build_record,
+    current_git_sha,
+    metric_value,
+    summarize_telemetry,
+    trend_check,
+)
 from .resolve import (
     GENERATOR_CHOICES,
     SWEEP_GENERATOR_KEYS,
@@ -151,9 +167,18 @@ def _build_parser() -> argparse.ArgumentParser:
                         default="json")
     export.add_argument("--out", required=True)
 
+    def add_ledger_flags(p):
+        p.add_argument("--ledger-dir", default=None, metavar="PATH",
+                       help="run-ledger directory (default: "
+                            "$REPRO_LEDGER_DIR or "
+                            "~/.local/state/repro/ledger)")
+        p.add_argument("--no-ledger", action="store_true",
+                       help="do not record this run in the run ledger")
+
     profile = sub.add_parser(
         "profile",
         help="profile a BIST session: span tree, vectors/sec, zone hits")
+    add_ledger_flags(profile)
     profile.add_argument("design", metavar="design")
     profile.add_argument("generator", metavar="generator")
     profile.add_argument("--vectors", type=int, default=4096)
@@ -187,6 +212,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
         p.add_argument("--no-cache", action="store_true",
                        help="disable the on-disk artifact cache")
+        add_ledger_flags(p)
 
     sweep = sub.add_parser(
         "sweep",
@@ -262,11 +288,74 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable the on-disk artifact cache")
     serve.add_argument("--access-log", default=None, metavar="PATH",
                        help="append per-request JSON Lines records to PATH")
+    serve.add_argument("--events-keepalive", type=float, default=15.0,
+                       help="seconds between SSE keepalive comments on "
+                            "idle /v1/events streams")
     serve.add_argument("--trace-out", dest="serve_trace_out", default=None,
                        metavar="PATH",
                        help="stream the service's telemetry events "
                             "(request spans, job spans, metrics) to PATH "
                             "as JSON Lines")
+    add_ledger_flags(serve)
+
+    runs = sub.add_parser(
+        "runs",
+        help="query the run ledger; watch live service jobs")
+    runs.add_argument("--ledger-dir", default=None, metavar="PATH",
+                      help="run-ledger directory (default: "
+                           "$REPRO_LEDGER_DIR or "
+                           "~/.local/state/repro/ledger)")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    r_list = runs_sub.add_parser("list", help="recent run records")
+    r_list.add_argument("--kind", default=None, choices=RUN_KINDS)
+    r_list.add_argument("--last", type=int, default=20,
+                        help="show the newest N records (default 20)")
+
+    r_show = runs_sub.add_parser("show", help="one record, pretty JSON")
+    r_show.add_argument("run", help="record id (any unique prefix)")
+
+    r_cmp = runs_sub.add_parser(
+        "compare", help="numeric field-by-field diff of two records")
+    r_cmp.add_argument("run_a", help="baseline record id prefix")
+    r_cmp.add_argument("run_b", help="candidate record id prefix")
+
+    r_trend = runs_sub.add_parser(
+        "trend",
+        help="gate the newest run against the median of its "
+             "predecessors")
+    r_trend.add_argument("--metric", default="faults_per_sec",
+                         help="dotted metric path or bare bench/metrics "
+                              "name (default faults_per_sec)")
+    r_trend.add_argument("--kind", default="bench-gates",
+                         choices=RUN_KINDS,
+                         help="run kind the history is drawn from "
+                              "(default bench-gates)")
+    r_trend.add_argument("--last", type=int, default=5,
+                         help="baseline window: median of up to N prior "
+                              "runs (default 5)")
+    r_trend.add_argument("--tolerance", type=float, default=0.2,
+                         help="allowed fractional deviation from the "
+                              "baseline median (default 0.2)")
+    r_trend.add_argument("--direction", choices=("higher", "lower"),
+                         default="higher",
+                         help="which direction is better (default higher)")
+    r_trend.add_argument("--check", action="store_true",
+                         help="exit nonzero on regression")
+
+    runs_sub.add_parser(
+        "validate",
+        help="schema-check and re-address every ledger record")
+
+    r_watch = runs_sub.add_parser(
+        "watch", help="render a service job's live progress")
+    r_watch.add_argument("job", help="service job id")
+    r_watch.add_argument("--url", default="http://127.0.0.1:8337",
+                         help="service base URL "
+                              "(default http://127.0.0.1:8337)")
+    r_watch.add_argument("--interval", type=float, default=2.0,
+                         help="poll interval when the event stream is "
+                              "unavailable (default 2s)")
     return parser
 
 
@@ -340,6 +429,29 @@ def _cmd_profile(args, ctx: ExperimentContext, tel: Telemetry) -> int:
         write_chrome_trace(args.export_trace, events, trace_id=tel.trace_id)
         print(f"\nwrote Chrome trace to {args.export_trace} "
               f"(load in chrome://tracing or ui.perfetto.dev)")
+
+    import time
+
+    # Coverage-over-test-length checkpoints (the paper's own quality
+    # axis) ride along in the run record, downsampled to ~16 points.
+    pts, pct = result.coverage_percent_curve()
+    step = max(1, len(pts) // 16)
+    curve = [(float(p), float(c) / 100.0)
+             for p, c in zip(pts[::step], pct[::step])]
+    if len(pts) and (not curve or curve[-1][0] != float(pts[-1])):
+        curve.append((float(pts[-1]), float(pct[-1]) / 100.0))
+    _ledger_append(args, build_record(
+        "profile",
+        config={"design": name, "generator": gen.name,
+                "vectors": args.vectors, "width": args.width,
+                "beta": args.beta, "exact": args.exact, "jobs": args.jobs},
+        created_unix=time.time(),
+        metrics=summarize_telemetry(tel) or None,
+        coverage_curve=curve,
+        git_sha=current_git_sha(),
+        trace_id=tel.trace_id,
+        extra={"coverage": float(result.coverage()),
+               "missed": result.missed()}))
     return 0
 
 
@@ -371,20 +483,53 @@ def _cache_summary(cache) -> str:
             f"({cache.root})")
 
 
+def _ledger_append(args, record) -> None:
+    """Record a run in the ledger selected by --ledger-dir/--no-ledger.
+
+    Best-effort: an unwritable ledger degrades to a warning, never a
+    failed run — the measurement already happened.
+    """
+    if getattr(args, "no_ledger", False):
+        return
+    try:
+        ledger = RunLedger(getattr(args, "ledger_dir", None))
+        rid = ledger.append(record)
+        logger.info("run %s recorded in %s", rid[:12], ledger.path)
+    except Exception as exc:
+        logger.warning("run-ledger append failed: %s", exc)
+
+
 def _cmd_sweep(args) -> int:
+    import time
+
     from .parallel import resolve_jobs
 
     designs, gens = _parse_grid(args)  # fail fast on bad names
     cache = _make_cache(args)
     ctx = ExperimentContext(cache=cache)
     jobs = resolve_jobs(args.jobs)
+    t0 = time.perf_counter()
     grid = ctx.run_grid(designs, gens, args.vectors, jobs=jobs)
+    duration = time.perf_counter() - t0
     for (design, gen_key), result in grid.items():
         print(f"{design:3s} {result.generator_name:14s} "
               f"{args.vectors:6d} vectors  "
               f"{100 * result.coverage():6.2f}%  "
               f"{result.missed():5d} missed")
     print(f"jobs={jobs}  {_cache_summary(cache)}")
+    _ledger_append(args, build_record(
+        "sweep",
+        config={"designs": designs, "generators": gens,
+                "vectors": args.vectors, "jobs": jobs,
+                "cache": cache is not None},
+        created_unix=time.time(),
+        metrics=summarize_telemetry() or None,
+        git_sha=current_git_sha(),
+        duration_seconds=duration,
+        extra={"results": [
+            {"design": d, "generator": g,
+             "coverage": float(r.coverage()), "missed": r.missed()}
+            for (d, g), r in grid.items()]}))
     return 0
 
 
@@ -489,6 +634,7 @@ def _cmd_bench_gates(args) -> int:
     report = {
         "schema": "repro-bench-gatesim/1",
         "created_unix": _bench_now(args),
+        "git_sha": current_git_sha(),
         "config": {
             "design": name,
             "vectors": args.gates_vectors,
@@ -503,6 +649,25 @@ def _cmd_bench_gates(args) -> int:
     with open(args.gates_out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+    # Same provenance (schema, pinned timestamp, git sha) lands in the
+    # run ledger, where `repro runs trend` reads the history.
+    _ledger_append(args, build_record(
+        "bench-gates",
+        config=report["config"],
+        created_unix=report["created_unix"],
+        bench={
+            "faults_per_sec": report["optimized"]["faults_per_sec"],
+            "reference_faults_per_sec":
+                report["reference"]["faults_per_sec"],
+            "optimized_seconds": opt_seconds,
+            "reference_seconds": ref_seconds,
+            "speedup": speedup,
+        },
+        metrics={k: float(v) for k, v in counters.items()},
+        git_sha=report["git_sha"],
+        duration_seconds=opt_seconds + ref_seconds,
+        extra={"identical": identical, "missed": len(missed_opt)}))
 
     print(f"gate-level universe: {name}, {len(faults)} faults, "
           f"{args.gates_vectors} vectors")
@@ -613,6 +778,7 @@ def _cmd_bench_grid(args) -> int:
     report = {
         "schema": "repro-bench-parallel/1",
         "created_unix": _bench_now(args),
+        "git_sha": current_git_sha(),
         "config": {
             "designs": designs,
             "generators": gens,
@@ -649,6 +815,22 @@ def _cmd_bench_grid(args) -> int:
     print(f"speedup:  {report['speedup']:.2f}x   "
           f"identical: {identical}   wrote {args.out}")
 
+    _ledger_append(args, build_record(
+        "bench-parallel",
+        config=report["config"],
+        created_unix=report["created_unix"],
+        bench={
+            "faults_per_sec": report["parallel"]["faults_per_sec"],
+            "vectors_per_sec": report["parallel"]["vectors_per_sec"],
+            "serial_faults_per_sec": report["serial"]["faults_per_sec"],
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": report["speedup"],
+        },
+        git_sha=report["git_sha"],
+        duration_seconds=setup_seconds + serial_seconds + parallel_seconds,
+        extra={"identical": identical, "grid": report["grid"]}))
+
     if args.check:
         if not identical:
             print("bench check FAILED: parallel results differ from serial",
@@ -675,7 +857,9 @@ def _cmd_serve(args) -> int:
         result_ttl=args.result_ttl, rate=args.rate, burst=args.burst,
         drain_deadline=args.drain_deadline, grid_jobs=args.grid_jobs,
         cache_dir=args.cache_dir, no_cache=args.no_cache,
-        access_log=args.access_log, trace_out=args.serve_trace_out)
+        access_log=args.access_log, trace_out=args.serve_trace_out,
+        ledger_dir=args.ledger_dir, no_ledger=args.no_ledger,
+        events_keepalive=args.events_keepalive)
 
     telemetry = None
     if args.access_log:
@@ -697,6 +881,205 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _runs_ledger(args) -> RunLedger:
+    return RunLedger(args.ledger_dir)
+
+
+def _headline_metric(record) -> str:
+    """The one number worth a column in ``runs list``."""
+    for label, path in (("faults/s", "faults_per_sec"),
+                        ("coverage", "coverage"),
+                        ("speedup", "speedup"),
+                        ("seconds", "duration_seconds")):
+        value = metric_value(record, path)
+        if value is None and path in record \
+                and isinstance(record[path], (int, float)) \
+                and not isinstance(record[path], bool):
+            value = float(record[path])
+        if value is not None:
+            if label == "faults/s":
+                return f"{label}={value:,.0f}"
+            return f"{label}={value:.4g}"
+    return "-"
+
+
+def _cmd_runs_list(args) -> int:
+    from datetime import datetime, timezone
+
+    records = _runs_ledger(args).tail(max(1, args.last), kind=args.kind)
+    if not records:
+        print(f"no runs recorded in {_runs_ledger(args).path}")
+        return 0
+    for record in records:
+        created = datetime.fromtimestamp(
+            float(record["created_unix"]),
+            tz=timezone.utc).strftime("%Y-%m-%d %H:%M:%S")
+        sha = str(record.get("git_sha") or "-")[:8]
+        print(f"{str(record['id'])[:12]}  {record['kind']:<14s} "
+              f"{created}Z  {sha:<8s}  {_headline_metric(record)}")
+    return 0
+
+
+def _cmd_runs_show(args) -> int:
+    import json
+
+    print(json.dumps(_runs_ledger(args).get(args.run), indent=2,
+                     sort_keys=True))
+    return 0
+
+
+def _flatten_numeric(node, prefix=""):
+    """Dotted-path -> float map over a record's nested dicts."""
+    out = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            out.update(_flatten_numeric(value, f"{prefix}{key}."))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[prefix[:-1]] = float(node)
+    return out
+
+
+def _cmd_runs_compare(args) -> int:
+    ledger = _runs_ledger(args)
+    rec_a, rec_b = ledger.get(args.run_a), ledger.get(args.run_b)
+    flat_a = _flatten_numeric({k: rec_a.get(k)
+                               for k in ("bench", "metrics",
+                                         "duration_seconds", "coverage",
+                                         "missed", "speedup")})
+    flat_b = _flatten_numeric({k: rec_b.get(k)
+                               for k in ("bench", "metrics",
+                                         "duration_seconds", "coverage",
+                                         "missed", "speedup")})
+    print(f"A: {str(rec_a['id'])[:12]} ({rec_a['kind']})   "
+          f"B: {str(rec_b['id'])[:12]} ({rec_b['kind']})")
+    if rec_a.get("config_fingerprint") != rec_b.get("config_fingerprint"):
+        print("note: configs differ (fingerprints do not match)")
+    for key in sorted(set(flat_a) | set(flat_b)):
+        va, vb = flat_a.get(key), flat_b.get(key)
+        if va is None or vb is None:
+            print(f"  {key:<40s} "
+                  f"{'-' if va is None else f'{va:,.4g}':>14s} -> "
+                  f"{'-' if vb is None else f'{vb:,.4g}':>14s}")
+            continue
+        delta = f"{100.0 * (vb - va) / va:+.1f}%" if va else "n/a"
+        print(f"  {key:<40s} {va:>14,.4g} -> {vb:>14,.4g}  {delta}")
+    return 0
+
+
+def _cmd_runs_trend(args) -> int:
+    from datetime import datetime, timezone
+
+    records = _runs_ledger(args).records(kind=args.kind)
+    history = [(r, metric_value(r, args.metric)) for r in records]
+    history = [(r, v) for r, v in history if v is not None]
+    for record, value in history[-(args.last + 1):]:
+        created = datetime.fromtimestamp(
+            float(record["created_unix"]),
+            tz=timezone.utc).strftime("%Y-%m-%d %H:%M")
+        print(f"  {str(record['id'])[:12]}  {created}Z  "
+              f"{args.metric} = {value:,.4g}")
+    report = trend_check(records, args.metric, last=args.last,
+                         tolerance=args.tolerance,
+                         direction=args.direction)
+    print(report.describe())
+    if args.check and not report.ok:
+        return 1
+    return 0
+
+
+def _cmd_runs_validate(args) -> int:
+    ledger = _runs_ledger(args)
+    records = ledger.records(validate=True)  # raises on any bad line
+    kinds: dict = {}
+    for record in records:
+        kinds[record["kind"]] = kinds.get(record["kind"], 0) + 1
+    breakdown = ", ".join(f"{k}={n}" for k, n in sorted(kinds.items()))
+    print(f"{len(records)} valid record(s) in {ledger.path}"
+          + (f" ({breakdown})" if breakdown else ""))
+    return 0
+
+
+def _cmd_runs_watch(args) -> int:
+    from .service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url, client_id="repro-runs-watch")
+    is_tty = sys.stdout.isatty()
+
+    def render(stream: str, doc) -> None:
+        done, total = doc.get("done"), doc.get("total")
+        head = f"[{stream}] {done:g}" if done is not None else f"[{stream}]"
+        if total:
+            head += f"/{total:g}"
+        parts = [head]
+        if doc.get("fraction") is not None:
+            parts.append(f"{100.0 * doc['fraction']:5.1f}%")
+        if doc.get("coverage") is not None:
+            parts.append(f"coverage={doc['coverage']:.4f}")
+        if doc.get("eta_seconds") is not None:
+            parts.append(f"eta={doc['eta_seconds']:.0f}s")
+        line = "  ".join(parts)
+        if is_tty:
+            print("\r" + line.ljust(76), end="", flush=True)
+        else:
+            print(line)
+
+    final_state = None
+    try:
+        for event in client.events(args.job):
+            name, data = event.get("event"), event.get("data", {})
+            if name == "progress":
+                render(str(data.get("stream", "progress")), data)
+            elif name == "job":
+                state = data.get("state")
+                for stream, doc in sorted(
+                        (data.get("progress") or {}).items()):
+                    render(stream, doc)
+                if state in ("done", "failed", "cancelled"):
+                    final_state = state
+                    break
+            elif name == "shutdown":
+                break
+    except (ServiceClientError, OSError) as exc:
+        if isinstance(exc, ServiceClientError) and exc.status == 404:
+            print(f"repro: no such job {args.job!r} at {args.url}",
+                  file=sys.stderr)
+            return 1
+        logger.info("event stream unavailable (%s); falling back to "
+                    "polling", exc)
+        import time
+
+        while final_state is None:
+            doc = client.job(args.job,
+                             wait=min(max(args.interval, 0.1), 30.0))
+            for stream, pdoc in sorted((doc.get("progress") or {}).items()):
+                render(stream, pdoc)
+            if doc.get("state") in ("done", "failed", "cancelled"):
+                final_state = doc["state"]
+            else:
+                time.sleep(max(args.interval, 0.1))
+    if is_tty:
+        print()
+    if final_state is None:
+        try:
+            final_state = str(client.job(args.job).get("state", "unknown"))
+        except (ServiceClientError, OSError):
+            final_state = "unknown"
+    print(f"job {args.job}: {final_state}")
+    return 0 if final_state == "done" else 1
+
+
+def _cmd_runs(args) -> int:
+    handler = {
+        "list": _cmd_runs_list,
+        "show": _cmd_runs_show,
+        "compare": _cmd_runs_compare,
+        "trend": _cmd_runs_trend,
+        "validate": _cmd_runs_validate,
+        "watch": _cmd_runs_watch,
+    }[args.runs_command]
+    return handler(args)
+
+
 def _dispatch(args, tel: Optional[Telemetry]) -> int:
     if args.command == "sweep":
         return _cmd_sweep(args)
@@ -704,6 +1087,8 @@ def _dispatch(args, tel: Optional[Telemetry]) -> int:
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "runs":
+        return _cmd_runs(args)
 
     ctx = ExperimentContext()
 

@@ -53,6 +53,10 @@ class ParallelError(ReproError):
     """Parallel execution-layer misconfiguration or unrecoverable failure."""
 
 
+class LedgerError(ReproError):
+    """Malformed run-ledger record, unknown run id, or trend-gate failure."""
+
+
 class ServiceError(ReproError):
     """Evaluation-service failure (invalid request, overload, shutdown).
 

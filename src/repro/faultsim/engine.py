@@ -186,19 +186,35 @@ def run_fault_coverage(
     tel = get_telemetry()
     with tel.span("faultsim.run", design=design.name,
                   generator=generator.name, vectors=n_vectors) as sp:
+        # Coarse stage progress: the cell-level session is a handful of
+        # vectorized passes, so the stream ticks per stage rather than
+        # per vector (the chunked gate-level engines tick per batch).
+        stages = 4.0
+        if tel.enabled:
+            tel.progress("faultsim.session", 0, stages, stage="start")
         if universe is None:
             with tel.span("faultsim.build_universe"):
                 universe = build_fault_universe(design.graph, name=design.name)
+        if tel.enabled:
+            tel.progress("faultsim.session", 1, stages, stage="universe")
         with tel.span("faultsim.generate"):
             raw = generator.sequence(n_vectors)
             raw = match_width(raw, generator.width, design.input_fmt.width)
+        if tel.enabled:
+            tel.progress("faultsim.session", 2, stages, stage="generate")
         with tel.span("faultsim.track"):
             tracker = track_patterns(
                 design.graph, universe, raw,
                 extra_hook=None if zone_tracer is None else zone_tracer.hook)
+        if tel.enabled:
+            tel.progress("faultsim.session", 3, stages, stage="track")
         with tel.span("faultsim.classify"):
             result = coverage_of_tracker(tracker, design_name=design.name,
                                          generator_name=generator.name)
+        if tel.enabled:
+            tel.progress("faultsim.session", stages, stages,
+                         stage="classified",
+                         coverage=float(result.coverage()))
     if tel.enabled:
         tel.counter("faultsim.sessions").add(1)
         tel.counter("faultsim.vectors").add(n_vectors)

@@ -335,7 +335,7 @@ def gate_level_missed(
         # last being the full sequence — so the hard tail of each batch
         # never drags a full-length cone evaluation along with it.
         remaining = np.arange(n_faults)
-        finalized = emitted = 0
+        finalized = emitted = dropped = 0
         for stage_len in _deepening_schedule(len(raw), chunk_len):
             final = stage_len == len(raw)
             subset = [faults[i] for i in remaining]
@@ -348,10 +348,17 @@ def gate_level_missed(
                         [faults[i].netlist_fault for i in idx],
                         chunk_len, ws, length=stage_len)
                 verdicts[idx] = batch_verdicts
+                dropped += stats["faults_dropped"]
                 if tel.enabled:
                     _emit_batch_stats(tel, len(batch), stats)
                 finalized += (len(batch) if final
                               else int(batch_verdicts.sum()))
+                if tel.enabled:
+                    tel.progress(
+                        "gates.grade", finalized, n_faults,
+                        detected=int(verdicts.sum()),
+                        coverage=float(verdicts.sum()) / max(1, n_faults),
+                        dropped=dropped, prefix=stage_len)
                 while progress is not None and (emitted + 1) * 64 <= finalized:
                     emitted += 1
                     progress(emitted * 64, n_faults)

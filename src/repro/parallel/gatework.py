@@ -126,6 +126,11 @@ def gate_level_missed_parallel(
             batch_idx = order[start:start + BATCH]
             verdicts[batch_idx] = block
             done += len(batch_idx)
+            if tel.enabled:
+                tel.progress("gates.grade", done, len(faults),
+                             detected=int(verdicts.sum()),
+                             coverage=float(verdicts.sum())
+                             / max(1, len(faults)))
             if progress is not None:
                 progress(done, len(faults))
         missed = [f for f, hit in zip(faults, verdicts) if not hit]

@@ -12,7 +12,10 @@ inline:
   (429 + ``Retry-After``) and per-client token-bucket rate limiting.
 * :mod:`repro.service.workers` — worker pool that coalesces identical
   requests and batches small ones into single vectorized passes.
-* :mod:`repro.service.http` — the thin HTTP/1.1 layer and routes.
+* :mod:`repro.service.http` — the thin HTTP/1.1 layer and routes,
+  including the ``GET /v1/events`` SSE stream.
+* :mod:`repro.service.events` — thread-safe broker fanning job state
+  transitions and live progress snapshots out to event subscribers.
 * :mod:`repro.service.lifecycle` — assembly, warmup, ``/readyz``,
   graceful SIGTERM drain.
 * :mod:`repro.service.client` — blocking stdlib client.
@@ -26,7 +29,8 @@ Start one with ``repro serve --port 8337`` or, in process::
 """
 
 from .client import ServiceBusy, ServiceClient, ServiceClientError
-from .http import HttpApi
+from .events import EventBroker
+from .http import HttpApi, negotiate_media_type
 from .jobs import (BATCHABLE_KINDS, JOB_KINDS, PRIORITIES, Job, JobState,
                    JobStore, canonical_params)
 from .lifecycle import EvaluationService, ServiceConfig
@@ -40,6 +44,7 @@ __all__ = [
     "JOB_KINDS",
     "PRIORITIES",
     "EvaluationService",
+    "EventBroker",
     "FairJobQueue",
     "HttpApi",
     "Job",
@@ -58,4 +63,5 @@ __all__ = [
     "WorkerPool",
     "canonical_params",
     "execute_job",
+    "negotiate_media_type",
 ]

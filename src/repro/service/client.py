@@ -176,6 +176,63 @@ class ServiceClient:
                      f"{doc.get('error', 'no result')}", doc)
         return doc["result"]
 
+    def events(self, job_id: Optional[str] = None, *,
+               timeout: Optional[float] = None):
+        """Yield parsed events from the ``GET /v1/events`` SSE stream.
+
+        Each yielded dict is ``{"event": name, "data": {...}}`` (plus
+        ``"id"`` when the server numbered the frame).  With ``job_id``
+        the server filters to that job and closes the stream when it
+        finishes, so iteration simply ends.  ``timeout`` bounds the
+        *gap between frames*, not the whole stream — the server's
+        keepalive comments reset it — and raises ``TimeoutError`` via
+        the underlying socket when exceeded.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout)
+        path = "/v1/events"
+        if job_id is not None:
+            path += f"?job={job_id}"
+        try:
+            conn.request("GET", path, headers={
+                "Accept": "text/event-stream",
+                "X-Repro-Client": self.client_id,
+            })
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raw = resp.read()
+                try:
+                    doc = json.loads(raw.decode("utf-8")) if raw else {}
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    doc = {}
+                raise ServiceClientError(
+                    resp.status, str(doc.get("error", "event stream "
+                                             "unavailable")), doc)
+            event: Dict[str, Any] = {}
+            for raw_line in resp:
+                line = raw_line.decode("utf-8").rstrip("\r\n")
+                if not line:  # blank line = frame boundary
+                    if "data" in event:
+                        yield event
+                    event = {}
+                    continue
+                if line.startswith(":"):
+                    continue  # keepalive comment
+                name, _, value = line.partition(":")
+                value = value[1:] if value.startswith(" ") else value
+                if name == "event":
+                    event["event"] = value
+                elif name == "id":
+                    event["id"] = value
+                elif name == "data":
+                    try:
+                        event["data"] = json.loads(value)
+                    except json.JSONDecodeError:
+                        event["data"] = value
+        finally:
+            conn.close()
+
     def healthz(self) -> Dict[str, Any]:
         return self._checked("GET", "/healthz")
 

@@ -1,0 +1,122 @@
+"""Event fan-out for the service's live observability surfaces.
+
+The :class:`EventBroker` is the hub between everything that *happens*
+in the service — job state transitions, worker progress updates — and
+everything that *watches*: the ``GET /v1/events`` server-sent-events
+stream and, indirectly, ``repro runs watch``.  Publishers call
+:meth:`EventBroker.publish` from any thread (worker executor threads
+included); each subscriber owns a bounded asyncio queue that the
+broker fills on the event loop.
+
+Delivery is best-effort by design: a slow SSE consumer's queue drops
+its *oldest* event to admit the newest, because progress streams are
+monotone snapshots — the latest update supersedes everything before
+it, so lossy delivery never shows a watcher stale state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["EventBroker", "sse_frame"]
+
+#: Per-subscriber queue bound; old events are dropped for new ones.
+DEFAULT_QUEUE_SIZE = 256
+
+
+def sse_frame(event: Dict[str, Any]) -> bytes:
+    """One event as a wire-ready ``text/event-stream`` frame.
+
+    Uses the standard ``event:`` / ``id:`` / ``data:`` fields; the data
+    payload is one JSON object per frame.
+    """
+    name = str(event.get("event", "message"))
+    seq = event.get("seq")
+    lines = [f"event: {name}"]
+    if seq is not None:
+        lines.append(f"id: {seq}")
+    lines.append("data: " + json.dumps(event.get("data", {}),
+                                       sort_keys=True, default=str))
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+class EventBroker:
+    """Thread-safe publish / asyncio-subscribe fan-out."""
+
+    def __init__(self, queue_size: int = DEFAULT_QUEUE_SIZE):
+        self.queue_size = queue_size
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._subscribers: List["asyncio.Queue[Dict[str, Any]]"] = []
+        self._seq = itertools.count(1)
+        self.published = 0
+        self.dropped = 0
+
+    def bind(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Attach the broker to the serving loop (once, at startup)."""
+        self._loop = loop
+
+    # ------------------------------------------------------------------
+    # Subscribing (event-loop side)
+    # ------------------------------------------------------------------
+    @property
+    def subscribers(self) -> int:
+        return len(self._subscribers)
+
+    def subscribe(self, maxsize: Optional[int] = None
+                  ) -> "asyncio.Queue[Dict[str, Any]]":
+        queue: "asyncio.Queue[Dict[str, Any]]" = asyncio.Queue(
+            maxsize=self.queue_size if maxsize is None else maxsize)
+        self._subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: "asyncio.Queue[Dict[str, Any]]") -> None:
+        try:
+            self._subscribers.remove(queue)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Publishing (any thread)
+    # ------------------------------------------------------------------
+    def publish(self, event_name: str, data: Dict[str, Any]) -> None:
+        """Enqueue ``data`` for every subscriber; safe from any thread.
+
+        A no-op before :meth:`bind` or after the loop stops — events
+        during startup/teardown windows are simply not observable,
+        which is the right failure mode for a monitoring channel.
+        """
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        event = {"event": event_name, "seq": next(self._seq),
+                 "data": dict(data, unix=data.get("unix", time.time()))}
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is loop:
+            self._deliver(event)
+        else:
+            try:
+                loop.call_soon_threadsafe(self._deliver, event)
+            except RuntimeError:
+                pass  # loop shut down between the check and the call
+
+    def _deliver(self, event: Dict[str, Any]) -> None:
+        self.published += 1
+        for queue in list(self._subscribers):
+            while True:
+                try:
+                    queue.put_nowait(event)
+                    break
+                except asyncio.QueueFull:
+                    # Monotone snapshots: drop the oldest, keep the new.
+                    try:
+                        queue.get_nowait()
+                        self.dropped += 1
+                    except asyncio.QueueEmpty:  # pragma: no cover - race
+                        break

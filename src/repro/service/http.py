@@ -12,11 +12,18 @@ Routes
 ``GET    /v1/jobs/{id}``        poll; ``?wait=SECONDS`` long-polls
 ``GET    /v1/jobs/{id}/result`` the result document alone
 ``DELETE /v1/jobs/{id}``        cancel a queued job
+``GET    /v1/events``           server-sent-events stream of job state
+                                transitions and live progress snapshots;
+                                ``?job=ID`` filters to one job and ends
+                                the stream when that job finishes
 ``GET    /healthz``             liveness (always 200 while the process runs)
 ``GET    /readyz``              readiness (503 while warming or draining)
 ``GET    /metrics``             telemetry counters/gauges/histograms; JSON by
                                 default, Prometheus text exposition when the
-                                ``Accept`` header asks for ``text/plain``
+                                ``Accept`` header prefers ``text/plain``
+                                (full negotiation: q-values, wildcards,
+                                specificity — see
+                                :func:`negotiate_media_type`)
 
 Error envelope: ``{"error": "...", "status": N}``; 429/503 responses
 carry a ``Retry-After`` header.  Every served request is emitted as a
@@ -35,9 +42,10 @@ from urllib.parse import parse_qs, urlsplit
 
 from ..errors import ReproError, ServiceError
 from ..telemetry import get_telemetry
+from .events import sse_frame
 from .jobs import JobState
 
-__all__ = ["HttpApi"]
+__all__ = ["HttpApi", "negotiate_media_type"]
 
 logger = logging.getLogger("repro.service")
 
@@ -61,6 +69,62 @@ Reply = Tuple[int, Any, Dict[str, str]]
 
 class _HttpError(ServiceError):
     """Protocol-level failure with a definite status code."""
+
+
+def negotiate_media_type(accept: str, offers: Tuple[str, ...]
+                         ) -> Optional[str]:
+    """Pick the best of ``offers`` for an ``Accept`` header value.
+
+    Implements the parts of RFC 7231 §5.3.2 a JSON/text API actually
+    needs: comma-separated media ranges, ``q`` weights (params after
+    ``q`` are ignored), ``type/*`` and ``*/*`` wildcards, and the rule
+    that an offer's quality comes from its *most specific* matching
+    range — so ``*/*;q=1, text/plain;q=0.1`` really does demote
+    ``text/plain``.  Ties prefer the earlier offer (server preference).
+    Returns ``None`` when nothing is acceptable; an empty or
+    unparseable header accepts everything (first offer wins).
+    """
+    ranges = []
+    for part in (accept or "").split(","):
+        media, _, raw_params = part.partition(";")
+        media = media.strip().lower()
+        if "/" not in media:
+            continue
+        mtype, _, msub = media.partition("/")
+        q = 1.0
+        for param in raw_params.split(";"):
+            name, sep, value = param.strip().partition("=")
+            if sep and name.strip().lower() == "q":
+                try:
+                    q = float(value.strip())
+                except ValueError:
+                    q = 0.0
+                break  # everything after q= is an accept-ext
+        ranges.append((mtype, msub, max(0.0, min(1.0, q))))
+    if not ranges:
+        return offers[0] if offers else None
+    best: Optional[Tuple[float, int]] = None
+    best_offer: Optional[str] = None
+    for idx, offer in enumerate(offers):
+        otype, _, osub = offer.lower().partition("/")
+        match: Optional[Tuple[int, float]] = None  # (specificity, q)
+        for mtype, msub, q in ranges:
+            if (mtype, msub) == (otype, osub):
+                spec = 2
+            elif mtype == otype and msub == "*":
+                spec = 1
+            elif (mtype, msub) == ("*", "*"):
+                spec = 0
+            else:
+                continue
+            if match is None or spec > match[0]:
+                match = (spec, q)
+        if match is None or match[1] <= 0:
+            continue
+        key = (match[1], -idx)
+        if best is None or key > best:
+            best, best_offer = key, offer
+    return best_offer
 
 
 def _error_reply(status: int, message: str,
@@ -103,6 +167,12 @@ class HttpApi:
             path = split.path
             query = parse_qs(split.query)
             client = headers.get("x-repro-client")
+            if path == "/v1/events" and method == "GET":
+                # Streaming departs from the one-shot request/reply
+                # shape (no Content-Length, the response outlives this
+                # scope's span), so it is served outside _route.
+                status = await self._serve_events(writer, query)
+                return
             try:
                 # The request span is the root every downstream span —
                 # the job's worker-side spans included — hangs under.
@@ -174,6 +244,82 @@ class HttpApi:
         body = await reader.readexactly(length) if length else b""
         return method, target, headers, body
 
+    async def _serve_events(self, writer: asyncio.StreamWriter,
+                            query: Dict[str, list]) -> int:
+        """Stream the event broker to one client as ``text/event-stream``.
+
+        Frames job transitions and progress snapshots as they are
+        published; a comment line keeps idle connections alive.  With
+        ``?job=ID`` only that job's events pass, a snapshot of the job
+        is sent up front, and the stream ends once the job reaches a
+        terminal state — so ``repro runs watch`` terminates by itself.
+        """
+        service = self.service
+        broker = getattr(service, "events", None)
+        if broker is None:
+            status, payload, extra = _error_reply(
+                503, "event streaming is not enabled")
+            await self._respond(writer, status, payload, extra)
+            return status
+        job_filter = None
+        initial_job = None
+        if query.get("job"):
+            job_filter = str(query["job"][0])
+            initial_job = service.store.get(job_filter)
+            if initial_job is None:
+                status, payload, extra = _error_reply(
+                    404, f"no such job {job_filter!r}")
+                await self._respond(writer, status, payload, extra)
+                return status
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream; charset=utf-8\r\n"
+                "Cache-Control: no-cache\r\n"
+                "Connection: close\r\n\r\n")
+        writer.write(head.encode("latin-1"))
+        queue = broker.subscribe()
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.counter("service.events.streams").add(1)
+        keepalive = max(0.5, float(getattr(service.config,
+                                           "events_keepalive", 15.0)))
+        try:
+            finished_already = False
+            if initial_job is not None:
+                writer.write(sse_frame(
+                    {"event": "job", "data": initial_job.to_dict()}))
+                finished_already = initial_job.state.finished
+            await writer.drain()
+            if finished_already:
+                return 200
+            while True:
+                try:
+                    event = await asyncio.wait_for(queue.get(), keepalive)
+                except asyncio.TimeoutError:
+                    if service.draining:
+                        return 200
+                    writer.write(b": keepalive\n\n")
+                    await writer.drain()
+                    continue
+                if event.get("event") == "shutdown":
+                    writer.write(sse_frame(event))
+                    await writer.drain()
+                    return 200
+                data = event.get("data", {})
+                if job_filter is not None and data.get("job") != job_filter:
+                    continue
+                writer.write(sse_frame(event))
+                await writer.drain()
+                if tel.enabled:
+                    tel.counter("service.events.sent").add(1)
+                if (job_filter is not None and event.get("event") == "job"
+                        and data.get("state") in
+                        ("done", "failed", "cancelled")):
+                    return 200
+        except ConnectionError:
+            return 200  # client hung up; normal for a watch stream
+        finally:
+            broker.unsubscribe(queue)
+
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
                        payload: Any,
                        extra: Optional[Dict[str, str]] = None) -> None:
@@ -209,6 +355,9 @@ class HttpApi:
             return self.service.readyz()
         if path == "/metrics":
             return self.service.metrics(accept=headers.get("accept", ""))
+        if path == "/v1/events":
+            # GET is intercepted in handle() (streaming response).
+            return _error_reply(405, f"{method} not allowed on {path}")
         if path == "/v1/jobs":
             if method != "POST":
                 return _error_reply(405, f"{method} not allowed on {path}")

@@ -36,8 +36,10 @@ __all__ = ["Job", "JobState", "JobStore", "JOB_KINDS", "BATCHABLE_KINDS",
 
 #: Request kinds the service evaluates (ISSUE terminology: spectrum
 #: ranking per Table 3 is ``rank``, fault grading per Tables 4-5 is
-#: ``grade``, serious-fault checks per Figures 2-3 are ``serious-fault``).
-JOB_KINDS = ("rank", "grade", "spectrum", "serious-fault")
+#: ``grade``, serious-fault checks per Figures 2-3 are ``serious-fault``;
+#: ``gate-grade`` is the exact gate-level grader, the long-running kind
+#: whose per-batch progress shows up live on the job document).
+JOB_KINDS = ("rank", "grade", "spectrum", "serious-fault", "gate-grade")
 
 #: Kinds whose requests are small enough that the worker pool batches
 #: several queued ones into a single executor pass.
@@ -52,6 +54,10 @@ MAX_VECTORS = 1 << 18
 MAX_WIDTH = 24
 MIN_WIDTH = 4
 MAX_POINTS = 1 << 14
+#: Gate-level grading is exact (and therefore slow); keep service
+#: requests bounded so one job cannot monopolize an executor thread.
+MAX_GATE_VECTORS = 1 << 12
+MAX_GATE_FAULTS = 1 << 14
 
 
 class JobState(str, Enum):
@@ -110,6 +116,15 @@ def canonical_params(kind: str, params: Optional[Dict[str, Any]]
         out["generator"] = resolve_generator(params.pop("generator", "lfsr1"))
         out["width"] = _int_param(params, "width", 12, MIN_WIDTH, MAX_WIDTH)
         out["points"] = _int_param(params, "points", 64, 1, MAX_POINTS)
+    elif kind == "gate-grade":
+        out["design"] = resolve_design(params.pop("design", "LP"))
+        out["generator"] = resolve_generator(params.pop("generator", "lfsr1"))
+        out["vectors"] = _int_param(params, "vectors", 256, 1,
+                                    MAX_GATE_VECTORS)
+        out["width"] = _int_param(params, "width", 12, MIN_WIDTH, MAX_WIDTH)
+        # 0 means "the whole enumerated universe" (still capped at
+        # execution time by the netlist's own fault count).
+        out["faults"] = _int_param(params, "faults", 256, 0, MAX_GATE_FAULTS)
     else:  # serious-fault: the Figures 2-3 demonstration has no knobs
         pass
     if params:
@@ -137,6 +152,10 @@ class Job:
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     coalesced: bool = False
+    #: Latest progress snapshot (stream name -> progress doc), written
+    #: by the worker thread while the job runs; plain dict assignment so
+    #: pollers on the event loop always see a consistent snapshot.
+    progress: Optional[Dict[str, Any]] = field(default=None, repr=False)
     #: Where this job hangs in the submitting request's trace; the
     #: worker's spans merge back under it (None when telemetry is off).
     trace: Optional[TraceContext] = field(default=None, repr=False)
@@ -175,6 +194,8 @@ class Job:
             doc["finished_unix"] = self.finished
             if self.started is not None:
                 doc["running_seconds"] = self.finished - self.started
+        if self.progress is not None:
+            doc["progress"] = dict(self.progress)
         if self.error is not None:
             doc["error"] = self.error
         if self.state is JobState.DONE and self.result is not None:

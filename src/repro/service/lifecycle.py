@@ -29,8 +29,10 @@ from ..errors import ServiceError
 from ..experiments import ExperimentContext
 from ..telemetry import (JsonlSink, Telemetry, TraceContext, get_telemetry,
                          prometheus_exposition, set_telemetry)
-from .http import HttpApi, _error_reply, job_reply, result_reply
-from .jobs import JobState, JobStore
+from .events import EventBroker
+from .http import HttpApi, _error_reply, job_reply, negotiate_media_type, \
+    result_reply
+from .jobs import Job, JobState, JobStore
 from .queue import FairJobQueue, RateLimiter
 from .workers import WorkerPool
 
@@ -58,6 +60,9 @@ class ServiceConfig:
     no_cache: bool = False
     access_log: Optional[str] = None
     trace_out: Optional[str] = None  # stream telemetry events as JSONL
+    ledger_dir: Optional[str] = None  # run-ledger root; None = default dir
+    no_ledger: bool = False     # skip run-ledger records entirely
+    events_keepalive: float = 15.0  # SSE keepalive comment interval
 
 
 class EvaluationService:
@@ -74,10 +79,15 @@ class EvaluationService:
         self.store = JobStore(result_ttl=cfg.result_ttl)
         self.queue = FairJobQueue(cfg.queue_depth)
         self.limiter = RateLimiter(cfg.rate, cfg.burst or None)
+        self.events = EventBroker()
         self.pool = WorkerPool(self.queue, self.store, self.context,
                                workers=cfg.workers,
                                batch_max=cfg.batch_max,
-                               grid_jobs=cfg.grid_jobs)
+                               grid_jobs=cfg.grid_jobs,
+                               events=self.events)
+        self.pool.on_finished = self._record_finished
+        self.ledger = None
+        self._git_sha: Optional[str] = None
         self.api = HttpApi(self)
         self.started_unix = time.time()
         self.ready = False
@@ -125,6 +135,17 @@ class EvaluationService:
                 else get_telemetry()
             active.sinks.append(self._trace_sink)
         self._loop = asyncio.get_running_loop()
+        self.events.bind(self._loop)
+        if not self.config.no_ledger:
+            from ..ledger import RunLedger, current_git_sha
+
+            try:
+                self.ledger = RunLedger(self.config.ledger_dir)
+                self._git_sha = current_git_sha()
+            except Exception:
+                logger.exception("run ledger unavailable; continuing "
+                                 "without run records")
+                self.ledger = None
         self._stopped = asyncio.Event()
         self._server = await asyncio.start_server(
             self.api.handle, self.config.host, self.config.port)
@@ -174,6 +195,9 @@ class EvaluationService:
         """Stop intake, drain with a deadline, flush, close."""
         self.draining = True
         self.ready = False
+        # Wake every SSE stream so watchers disconnect promptly instead
+        # of waiting out a keepalive interval.
+        self.events.publish("shutdown", {"reason": "draining"})
         self.queue.close()
         drained = True
         try:
@@ -261,6 +285,9 @@ class EvaluationService:
         if tel.enabled:
             tel.counter("service.jobs.submitted").add(1)
             tel.gauge("service.queue_depth").set(len(self.queue))
+        self.events.publish("job", {"job": job.id, "kind": job.kind,
+                                    "state": job.state.value,
+                                    "coalesced": False})
         return job_reply(job, 202, cache="miss")
 
     async def poll(self, job_id: str, query: Dict[str, list]):
@@ -304,6 +331,43 @@ class EvaluationService:
         return _error_reply(409, f"job {job_id!r} is {job.state.value} "
                             "and can no longer be cancelled")
 
+    def _record_finished(self, job: Job) -> None:
+        """Pool hook: one run-ledger record per finished job.
+
+        Recording is strictly best-effort — a full disk or unwritable
+        ledger must never affect job outcomes or poller responses.
+        """
+        if self.ledger is None:
+            return
+        try:
+            from ..ledger import build_record
+
+            extra: Dict[str, Any] = {"job_id": job.id,
+                                     "state": job.state.value,
+                                     "client": job.client,
+                                     "coalesced": job.coalesced}
+            if job.error is not None:
+                extra["error"] = job.error
+            bench = None
+            if isinstance(job.result, dict):
+                bench = {k: v for k, v in job.result.items()
+                         if isinstance(v, (int, float))
+                         and not isinstance(v, bool)}
+            duration = None
+            if job.finished is not None and job.started is not None:
+                duration = job.finished - job.started
+            self.ledger.append(build_record(
+                "service-job",
+                config={"kind": job.kind, "params": job.params},
+                created_unix=job.finished or self.store.clock(),
+                bench=bench or None,
+                git_sha=self._git_sha,
+                trace_id=None if job.trace is None else job.trace.trace_id,
+                duration_seconds=duration,
+                extra=extra))
+        except Exception:
+            logger.exception("run-ledger record failed for job %s", job.id)
+
     def healthz(self):
         return 200, {"status": "ok",
                      "uptime_seconds": time.time() - self.started_unix}, {}
@@ -319,7 +383,12 @@ class EvaluationService:
         tel = self.telemetry if self.telemetry is not None \
             else get_telemetry()
         events = [inst.to_event() for inst in tel.metrics().values()]
-        if "text/plain" in accept.lower():
+        # Proper content negotiation (q-values, wildcards, specificity):
+        # an unparseable or unmatched Accept falls back to JSON, the
+        # historical default, rather than 406ing a monitoring probe.
+        chosen = negotiate_media_type(accept,
+                                      ("application/json", "text/plain"))
+        if chosen == "text/plain":
             # Prometheus scrape: instrument snapshots plus the live
             # service-level gauges, in text exposition format.
             events.extend({"type": "gauge", "name": f"service.{name}",
@@ -329,6 +398,9 @@ class EvaluationService:
                 ("draining", int(self.draining)),
                 ("queue_depth", len(self.queue)),
                 ("inflight", self.pool.inflight),
+                ("events_subscribers", self.events.subscribers),
+                ("events_published", self.events.published),
+                ("events_dropped", self.events.dropped),
             ))
             return 200, prometheus_exposition(events), {}
         counters: Dict[str, Any] = {}
@@ -359,6 +431,12 @@ class EvaluationService:
                 "jobs_coalesced": self.pool.jobs_coalesced,
                 "batches": self.pool.batches,
                 "avg_service_seconds": self.queue.avg_service_seconds,
+                "events": {
+                    "subscribers": self.events.subscribers,
+                    "published": self.events.published,
+                    "dropped": self.events.dropped,
+                },
+                "ledger": None if self.ledger is None else self.ledger.path,
             },
             "counters": counters,
             "gauges": gauges,

@@ -111,6 +111,32 @@ def execute_job(ctx, kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
         gen = make_generator(params["generator"], params["width"], 4096)
         freqs, power = generator_spectrum(gen)
         return _spectrum_result(params, gen, freqs, power)
+    if kind == "gate-grade":
+        from ..gates import (elaborate, enumerate_cell_faults,
+                             gate_level_missed)
+        from ..generators.base import match_width
+
+        design = ctx.designs[params["design"]]
+        nl = elaborate(design.graph)
+        faults = enumerate_cell_faults(design.graph, nl)
+        if params["faults"]:
+            faults = faults[:params["faults"]]
+        gen = make_generator(params["generator"], params["width"],
+                             params["vectors"])
+        raw = match_width(gen.sequence(params["vectors"]), gen.width,
+                          design.input_fmt.width)
+        missed = gate_level_missed(nl, raw, faults)
+        detected = len(faults) - len(missed)
+        return {
+            "design": params["design"],
+            "generator": params["generator"],
+            "vectors": params["vectors"],
+            "width": params["width"],
+            "fault_count": len(faults),
+            "detected": detected,
+            "missed": len(missed),
+            "coverage": detected / max(1, len(faults)),
+        }
     if kind == "serious-fault":
         from ..experiments.figures import find_serious_missed_fault
 
@@ -184,7 +210,8 @@ def _execute_batch(ctx, kind: str, params_list: List[Dict[str, Any]],
 
 def _execute_batch_traced(ctx, kind: str, params_list: List[Dict[str, Any]],
                           grid_jobs: Optional[int],
-                          trace: Optional[TraceContext]
+                          trace: Optional[TraceContext],
+                          on_progress=None
                           ) -> Tuple[List[Outcome], Optional[Dict[str, Any]]]:
     """Executor entry point with trace propagation.
 
@@ -193,9 +220,11 @@ def _execute_batch_traced(ctx, kind: str, params_list: List[Dict[str, Any]],
     the batch's first leader), wrapped in a ``service.job`` span.  Any
     process-pool fan-out below (grade grids) propagates the same trace
     further, so the merged payload carries the full request → job →
-    chunk span chain.
+    chunk span chain.  ``on_progress`` observes the child collector's
+    live progress streams (fired on this executor thread) so the pool
+    can surface them on job documents while the batch is still running.
     """
-    with child_collector(trace) as handle:
+    with child_collector(trace, on_progress=on_progress) as handle:
         tel = get_telemetry()
         with tel.span("service.job", kind=kind, jobs=len(params_list)):
             outcomes = _execute_batch(ctx, kind, params_list, grid_jobs)
@@ -210,7 +239,7 @@ class WorkerPool:
 
     def __init__(self, queue: FairJobQueue, store: JobStore, context, *,
                  workers: int = 2, batch_max: int = 8,
-                 grid_jobs: Optional[int] = None):
+                 grid_jobs: Optional[int] = None, events=None):
         if workers <= 0:
             raise ServiceError(f"workers must be positive, got {workers}")
         if batch_max <= 0:
@@ -221,6 +250,13 @@ class WorkerPool:
         self.workers = workers
         self.batch_max = batch_max
         self.grid_jobs = grid_jobs
+        #: Optional :class:`~repro.service.events.EventBroker`; job state
+        #: transitions and live progress snapshots are published to it.
+        self.events = events
+        #: Optional hook called (on the event loop) with each job as it
+        #: reaches a terminal state — the lifecycle layer hangs run-ledger
+        #: recording off it.
+        self.on_finished = None
         self.executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-service")
         self._inflight: Dict[str, "asyncio.Future[Outcome]"] = {}
@@ -313,6 +349,12 @@ class WorkerPool:
                 self._attach(job, fut if fut is not None
                              else leader_futs[job.cache_key], coalesced=True)
 
+        if self.events is not None:
+            for job in batch:
+                self.events.publish("job", {"job": job.id, "kind": job.kind,
+                                            "state": job.state.value,
+                                            "coalesced": job.coalesced})
+
         if not leaders:
             return
 
@@ -321,6 +363,26 @@ class WorkerPool:
         if tel.enabled:
             tel.counter("service.batches").add(1)
             tel.histogram("service.batch_size").observe(len(leaders))
+
+        # Jobs resolved by *this* computation (leaders plus followers
+        # coalesced onto them in this batch); they all share the batch's
+        # progress streams.  Followers riding an older in-flight future
+        # are fed by that future's own batch.
+        watchers = [j for j in batch if j.cache_key in leader_futs]
+
+        def _on_progress(state) -> None:
+            # Fires on the executor thread mid-batch.  Whole-dict
+            # replacement keeps event-loop readers consistent without a
+            # lock; the broker handles its own thread hop.
+            doc = state.to_doc()
+            for job in watchers:
+                merged = dict(job.progress or {})
+                merged[state.name] = doc
+                job.progress = merged
+                if self.events is not None:
+                    self.events.publish(
+                        "progress", dict(doc, job=job.id, stream=state.name))
+
         # A coalesced batch can span several requests; the merged trace
         # hangs under the first leader's submitting request.
         trace = leaders[0].trace
@@ -329,7 +391,7 @@ class WorkerPool:
                 outcomes, payload = await loop.run_in_executor(
                     self.executor, _execute_batch_traced, self.context,
                     kind, [j.params for j in leaders], self.grid_jobs,
-                    trace)
+                    trace, _on_progress)
             except Exception as exc:  # executor itself failed
                 outcomes, payload = [("error", f"{type(exc).__name__}: {exc}")
                                      for _ in leaders], None
@@ -361,5 +423,15 @@ class WorkerPool:
             if tel.enabled:
                 tel.counter(f"service.jobs.{job.state.value}").add(1)
                 tel.counter(f"service.jobs.kind.{job.kind}").add(1)
+            if self.events is not None:
+                self.events.publish("job", {"job": job.id, "kind": job.kind,
+                                            "state": job.state.value,
+                                            "coalesced": job.coalesced})
+            if self.on_finished is not None:
+                try:
+                    self.on_finished(job)
+                except Exception:
+                    logger.exception("on_finished hook failed for job %s",
+                                     job.id)
 
         fut.add_done_callback(_finish)

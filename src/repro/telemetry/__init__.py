@@ -38,6 +38,7 @@ from .export import (
     write_chrome_trace,
 )
 from .metrics import NULL_INSTRUMENT, Counter, Gauge, Histogram
+from .progress import ProgressState, ProgressStream, progress_eta
 from .propagate import TraceContext, child_collector, collector_payload
 from .report import load_trace, render_run_report, write_run_report
 from .sinks import (
@@ -62,6 +63,8 @@ __all__ = [
     "NULL_INSTRUMENT",
     "NULL_TELEMETRY",
     "NullTelemetry",
+    "ProgressState",
+    "ProgressStream",
     "RequestLogSink",
     "Span",
     "Telemetry",
@@ -77,6 +80,7 @@ __all__ = [
     "get_telemetry",
     "load_trace",
     "new_trace_id",
+    "progress_eta",
     "prometheus_exposition",
     "reconstruct_spans",
     "render_run_report",

@@ -37,10 +37,11 @@ import itertools
 import logging
 import os
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import TelemetryError
 from .metrics import NULL_INSTRUMENT, Counter, Gauge, Histogram
+from .progress import ProgressState, ProgressStream
 from .sinks import TelemetrySink, reconstruct_spans, summarize_metrics
 from .spans import Span, format_span_tree, new_trace_id
 
@@ -78,6 +79,7 @@ class Telemetry:
         self.roots: List[Span] = []
         self.trace_id = trace_id if trace_id else new_trace_id()
         self.parent_span_id = parent_span_id
+        self.progress_streams = ProgressStream()
         self._metrics: Dict[str, object] = {}
         self._sid_prefix = os.urandom(4).hex()
         self._sid = itertools.count(1)
@@ -152,6 +154,10 @@ class Telemetry:
             except TelemetryError as exc:
                 logger.warning("dropping unmergeable child metric %r: %s",
                                event.get("name"), exc)
+        for event in payload.get("progress") or ():
+            self._emit(event)
+            state = self.progress_streams.merge_event(event)
+            self.progress_streams.notify(state)
 
     def _graft(self, root: Span) -> None:
         stack = [root]
@@ -205,6 +211,31 @@ class Telemetry:
     def metrics(self) -> Dict[str, object]:
         """Snapshot view of all instruments by name."""
         return dict(self._metrics)
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    def progress(self, name: str, done, total=None,
+                 **fields) -> ProgressState:
+        """Advance the named progress stream and publish the update.
+
+        ``done`` is monotone per stream (stale updates are no-ops);
+        ``total`` and any extra numeric fields (running coverage,
+        dropped counts, ...) ride along.  Each update is emitted to the
+        sinks as a flat ``progress`` event and pushed to in-process
+        subscribers (see :meth:`on_progress`); child collectors ship
+        their latest stream states back to the parent in the same
+        payload as spans and metrics.
+        """
+        state = self.progress_streams.update(name, done, total, **fields)
+        self.counter("telemetry.progress_updates").add(1)
+        self._emit(state.to_event())
+        self.progress_streams.notify(state)
+        return state
+
+    def on_progress(self, listener) -> "Callable[[], None]":
+        """Subscribe to every progress update; returns a remover."""
+        return self.progress_streams.subscribe(listener)
 
     # ------------------------------------------------------------------
     # Sinks and rendering
@@ -301,6 +332,12 @@ class NullTelemetry:
 
     def metrics(self) -> Dict[str, object]:
         return {}
+
+    def progress(self, name: str, done, total=None, **fields) -> None:
+        return None
+
+    def on_progress(self, listener):
+        return lambda: None
 
     def absorb(self, payload: Optional[Dict[str, object]]) -> None:
         pass

@@ -79,6 +79,7 @@ def collector_payload(tel: Telemetry,
     return {
         "spans": list(span_events),
         "metrics": [inst.to_event() for inst in tel.metrics().values()],
+        "progress": tel.progress_streams.events(),
         "pid": os.getpid(),
     }
 
@@ -93,7 +94,7 @@ class _ChildHandle:
 
 
 @contextlib.contextmanager
-def child_collector(ctx: Optional[TraceContext]):
+def child_collector(ctx: Optional[TraceContext], *, on_progress=None):
     """Run a region under a per-chunk child collector.
 
     With ``ctx=None`` (telemetry disabled in the dispatching process)
@@ -101,15 +102,37 @@ def child_collector(ctx: Optional[TraceContext]):
     ``None`` — the zero-cost discipline extends across processes.
     Otherwise a fresh :class:`Telemetry` joins ``ctx``'s trace, becomes
     the context-local current collector for the region, and the handle's
-    ``payload`` holds the merge-ready spans + metric deltas on exit.
+    ``payload`` holds the merge-ready spans + metric deltas + progress
+    stream states on exit.
+
+    ``on_progress`` subscribes to the child's live progress updates for
+    the duration of the region — this is how a same-process dispatcher
+    (the evaluation service's executor threads) observes a running
+    job's progress *before* the payload lands; cross-process dispatch
+    gets the final states via the payload merge instead.  Progress is
+    an operational signal, not a profiling one, so ``on_progress``
+    forces a collector even with ``ctx=None``: the region still runs
+    instrumented (under a fresh throwaway trace) and the listener fires
+    live, but ``payload`` stays ``None`` — there is no parent trace to
+    merge into.
     """
     handle = _ChildHandle()
     if ctx is None:
-        yield handle
+        if on_progress is None:
+            yield handle
+            return
+        # Progress-only side channel: nothing is exported or merged,
+        # the collector exists solely so tel.progress() has a home.
+        child = Telemetry(sinks=[])
+        child.on_progress(on_progress)
+        with use_telemetry(child):
+            yield handle
         return
     sink = InMemorySink()
     child = Telemetry(sinks=[sink], trace_id=ctx.trace_id,
                       parent_span_id=ctx.span_id)
+    if on_progress is not None:
+        child.on_progress(on_progress)
     with use_telemetry(child):
         try:
             yield handle

@@ -16,6 +16,17 @@ from repro.filters import lowpass_design
 from helpers import build_small_design
 
 
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a throwaway directory.
+
+    Services and CLI runs under test append run records by default;
+    without this every test run would pollute the developer's real
+    ledger under ``~/.local/state``.
+    """
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+
+
 @pytest.fixture(scope="session")
 def small_design():
     return build_small_design()
