@@ -5,6 +5,9 @@ Commands
 ``stats``     Table 1-style statistics for the reference designs.
 ``grade``     Run a BIST session and report coverage and missed faults.
 ``rank``      Rank generators against a design, propose a scheme.
+``recommend`` Recommend a generator for a design: analytic predictor
+              ranking with bounded gate-level confirmation of the
+              top-k candidates.
 ``spectrum``  Print a generator's power spectrum.
 ``table N``   Regenerate paper Table N.
 ``figure N``  Regenerate paper Figure N.
@@ -13,7 +16,9 @@ Commands
               ``--export-trace`` writes Chrome-trace JSON.
 ``sweep``     Parallel design x generator coverage grid (cache-backed).
 ``bench``     Serial-vs-parallel throughput benchmark -> JSON report;
-              ``--report`` adds a self-contained HTML run report.
+              ``--gates`` benches the cone engine, a bare
+              ``--schedule`` benches predictor-guided batch ordering,
+              and ``--report`` adds a self-contained HTML run report.
 ``serve``     Run the async BIST evaluation service (HTTP + JSON).
 ``report``    Markdown paper report, or ``--trace`` for an HTML run
               report rendered from a JSONL telemetry trace.
@@ -61,7 +66,6 @@ from .ledger import (
 )
 from .resolve import (
     GENERATOR_CHOICES,
-    SWEEP_GENERATOR_KEYS,
     make_generator,
     resolve_design,
     resolve_generator,
@@ -218,6 +222,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="grade a design x generator grid across worker processes")
     add_grid_flags(sweep, "LFSR-1,LFSR-D,LFSR-M,Ramp", 4096)
+    sweep.add_argument("--schedule", default="cone",
+                       choices=("cone", "predicted", "random"),
+                       help="session order: 'predicted' runs the grid "
+                            "lines the Eq. 1 analytic model rates best "
+                            "first, 'random' is a seeded control "
+                            "shuffle (default cone = product order)")
 
     bench = sub.add_parser(
         "bench",
@@ -254,10 +264,80 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--gates-out", default="BENCH_gatesim.json",
                        help="report path for --gates "
                             "(default BENCH_gatesim.json)")
+    bench.add_argument("--schedule", nargs="?", const="bench",
+                       choices=("cone", "predicted", "random", "bench"),
+                       default=None,
+                       help="bare --schedule runs the predictor-guided "
+                            "scheduling benchmark (predicted vs cone vs "
+                            "random batch order + predicted-vs-actual "
+                            "rank correlation); --schedule MODE with "
+                            "--gates picks the batch order for the "
+                            "optimized engine instead")
+    bench.add_argument("--schedule-design", default="LP",
+                       metavar="{LP,BP,HP}",
+                       help="design graded by --schedule (default LP)")
+    bench.add_argument("--schedule-generator", default="lfsr1",
+                       metavar="{" + ",".join(GENERATOR_CHOICES) + "}",
+                       help="generator graded by --schedule "
+                            "(default lfsr1)")
+    bench.add_argument("--schedule-vectors", type=int, default=1024,
+                       help="stimulus length for --schedule "
+                            "(default 1024)")
+    bench.add_argument("--schedule-faults", type=int, default=0,
+                       help="evenly subsample the fault universe to N "
+                            "faults for --schedule (0 = full universe)")
+    bench.add_argument("--schedule-chunk", type=int, default=64,
+                       help="time-chunk length for --schedule; detection "
+                            "times resolve to chunk ends, so keep it "
+                            "fine (default 64)")
+    bench.add_argument("--schedule-bins", type=int, default=1024,
+                       help="amplitude-grid bins for the analytic "
+                            "predictor (default 1024)")
+    bench.add_argument("--schedule-seed", type=int, default=0x5EED,
+                       help="seed of the random control ordering")
+    bench.add_argument("--schedule-corr-threshold", type=float,
+                       default=0.8,
+                       help="minimum predicted-vs-actual Spearman rank "
+                            "correlation for --schedule --check "
+                            "(default 0.8)")
+    bench.add_argument("--schedule-out", default="BENCH_schedule.json",
+                       help="report path for --schedule "
+                            "(default BENCH_schedule.json)")
     bench.add_argument("--report", default=None, metavar="PATH",
                        help="also write a self-contained HTML run report "
                             "(span waterfall, stage timings, cache hit "
                             "rates) for the benchmark session")
+
+    recommend = sub.add_parser(
+        "recommend",
+        help="recommend a test generator for a design: analytic "
+             "predictor ranking, gate-level confirmation of the top-k")
+    recommend.add_argument("--design", default="LP", metavar="{LP,BP,HP}")
+    recommend.add_argument("--vectors", type=int, default=4096,
+                           help="session length the analytic ranking "
+                                "assumes (default 4096)")
+    recommend.add_argument("--candidates", default=None,
+                           help="comma-separated generator subset "
+                                "(default: the full paper menagerie)")
+    recommend.add_argument("--top-k", type=int, default=2,
+                           help="candidates confirmed at gate level "
+                                "(0 = analytic ranking only)")
+    recommend.add_argument("--confirm-vectors", type=int, default=512,
+                           help="stimulus length of the confirmation "
+                                "grade (0 skips confirmation)")
+    recommend.add_argument("--confirm-faults", type=int, default=2048,
+                           help="gate-level fault budget of the "
+                                "confirmation grade (0 skips it)")
+    recommend.add_argument("--bins", type=int, default=512,
+                           help="amplitude-grid bins for the analytic "
+                                "predictor (default 512)")
+    recommend.add_argument("--json", action="store_true",
+                           help="print the full result as JSON")
+    recommend.add_argument("--cache-dir", default=None, metavar="PATH",
+                           help="artifact cache directory (default: "
+                                "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    recommend.add_argument("--no-cache", action="store_true",
+                           help="disable the on-disk artifact cache")
 
     serve = sub.add_parser(
         "serve",
@@ -356,6 +436,11 @@ def _build_parser() -> argparse.ArgumentParser:
     r_watch.add_argument("--interval", type=float, default=2.0,
                          help="poll interval when the event stream is "
                               "unavailable (default 2s)")
+    r_watch.add_argument("--timeout", type=float, default=0.0,
+                         help="overall deadline in seconds: exit "
+                              "nonzero if the job is not terminal by "
+                              "then, even while the stream stays alive "
+                              "(0 = wait forever)")
     return parser
 
 
@@ -503,33 +588,43 @@ def _cmd_sweep(args) -> int:
     import time
 
     from .parallel import resolve_jobs
+    from .parallel.sweep import SweepTask, run_sweep
 
     designs, gens = _parse_grid(args)  # fail fast on bad names
     cache = _make_cache(args)
     ctx = ExperimentContext(cache=cache)
     jobs = resolve_jobs(args.jobs)
+    tasks = [SweepTask(design=d, generator=g, n_vectors=args.vectors,
+                       width=ctx.config.generator_width)
+             for d in designs for g in gens]
+    if args.schedule != "cone":
+        from .schedule import order_sweep_tasks
+
+        tasks = order_sweep_tasks(ctx.designs, tasks, args.schedule)
     t0 = time.perf_counter()
-    grid = ctx.run_grid(designs, gens, args.vectors, jobs=jobs)
+    results = run_sweep(ctx, tasks, jobs=jobs)
     duration = time.perf_counter() - t0
-    for (design, gen_key), result in grid.items():
-        print(f"{design:3s} {result.generator_name:14s} "
+    for task, result in zip(tasks, results):
+        print(f"{task.design:3s} {result.generator_name:14s} "
               f"{args.vectors:6d} vectors  "
               f"{100 * result.coverage():6.2f}%  "
               f"{result.missed():5d} missed")
-    print(f"jobs={jobs}  {_cache_summary(cache)}")
+    print(f"jobs={jobs}  schedule={args.schedule}  "
+          f"{_cache_summary(cache)}")
     _ledger_append(args, build_record(
         "sweep",
         config={"designs": designs, "generators": gens,
                 "vectors": args.vectors, "jobs": jobs,
-                "cache": cache is not None},
+                "cache": cache is not None,
+                "schedule": args.schedule},
         created_unix=time.time(),
         metrics=summarize_telemetry() or None,
         git_sha=current_git_sha(),
         duration_seconds=duration,
         extra={"results": [
-            {"design": d, "generator": g,
+            {"design": t.design, "generator": t.generator,
              "coverage": float(r.coverage()), "missed": r.missed()}
-            for (d, g), r in grid.items()]}))
+            for t, r in zip(tasks, results)]}))
     return 0
 
 
@@ -567,6 +662,7 @@ _GATE_COUNTERS = (
     "gates.cone_nets",
     "gates.chunks_skipped",
     "gates.faults_dropped",
+    "gates.lane_vectors",
 )
 
 
@@ -597,11 +693,26 @@ def _cmd_bench_gates(args) -> int:
     raw = match_width(Type1Lfsr(width).sequence(args.gates_vectors),
                       width, width)
 
+    # --schedule MODE reorders the optimized engine's batches; verdicts
+    # scatter back by index so the identical-to-reference assertion
+    # still holds for every mode.
+    schedule_mode = args.schedule or "cone"
+    scheduler = None
+    if schedule_mode != "cone":
+        from .schedule import FaultPredictor, make_scheduler
+
+        predictor = (FaultPredictor(design, "lfsr1",
+                                    bins=args.schedule_bins)
+                     if schedule_mode == "predicted" else None)
+        scheduler = make_scheduler(schedule_mode, predictor=predictor,
+                                   seed=args.schedule_seed)
+
     tel = Telemetry()
     previous = set_telemetry(tel)
     try:
         t0 = time.perf_counter()
-        missed_opt = gate_level_missed(nl, raw, faults)
+        missed_opt = gate_level_missed(nl, raw, faults,
+                                       scheduler=scheduler)
         opt_seconds = time.perf_counter() - t0
     finally:
         set_telemetry(previous)
@@ -639,6 +750,7 @@ def _cmd_bench_gates(args) -> int:
             "design": name,
             "vectors": args.gates_vectors,
             "faults": len(faults),
+            "schedule": schedule_mode,
         },
         "reference": rates(ref_seconds),
         "optimized": dict(rates(opt_seconds), counters=counters),
@@ -695,9 +807,241 @@ def _cmd_bench_gates(args) -> int:
     return 0
 
 
+def _cmd_bench_schedule(args) -> int:
+    """``bench --schedule``: predictor-guided vs cone vs random order.
+
+    Grades one design's gate-level fault universe three times — once
+    per batch-ordering policy — at the full stimulus length (no
+    iterative deepening, so batch order is the *only* easy-first
+    mechanism) and measures (a) how much grading work each policy needs
+    to reach 90% of final detections, and (b) the Spearman rank
+    correlation between the analytic predictor's detection times and
+    the gate engine's actual ones, aggregated per ripple-carry cell.
+    Writes a ``repro-bench-schedule/1`` report; ``--check`` gates on
+    verdict identity, the correlation threshold and predicted beating
+    the random control on work-to-90%.
+    """
+    import json
+    import time
+
+    import numpy as np
+
+    from .gates import elaborate, enumerate_cell_faults, gate_level_missed
+    from .generators import match_width
+    from .schedule import (FaultPredictor, make_scheduler,
+                           spearman_rank_correlation, work_to_coverage)
+
+    name = resolve_design(args.schedule_design)
+    gen_kind = resolve_generator(args.schedule_generator)
+    ctx = ExperimentContext()
+    design = ctx.designs[name]
+    nl = elaborate(design.graph)
+    faults = enumerate_cell_faults(design.graph, nl)
+    if args.schedule_faults and args.schedule_faults < len(faults):
+        idx = np.unique(np.linspace(0, len(faults) - 1,
+                                    args.schedule_faults).astype(int))
+        faults = [faults[i] for i in idx]
+    vectors = args.schedule_vectors
+    gen = make_generator(gen_kind, design.input_fmt.width, vectors)
+    raw = match_width(gen.sequence(vectors), gen.width,
+                      design.input_fmt.width)
+
+    t0 = time.perf_counter()
+    predictor = FaultPredictor(design, gen_kind, bins=args.schedule_bins)
+    times_pred = predictor.expected_times(faults)
+    predictor_seconds = time.perf_counter() - t0
+
+    tel = Telemetry()
+    previous = set_telemetry(tel)
+    arms = {}
+    try:
+        for mode in ("cone", "predicted", "random"):
+            scheduler = None if mode == "cone" else make_scheduler(
+                mode, predictor=predictor, seed=args.schedule_seed)
+            # Actual detection times come from the cone arm; they are
+            # schedule-independent, so one collection pass suffices.
+            detect = (np.full(len(faults), -1, dtype=np.int64)
+                      if mode == "cone" else None)
+            checkpoints = []
+            cum = {"work": 0, "dropped": 0}
+
+            def on_batch(info, cum=cum, cp=checkpoints):
+                cum["work"] += info["work"]
+                cum["dropped"] += info["dropped"]
+                cp.append((cum["work"], info["detected"]))
+
+            t0 = time.perf_counter()
+            missed = gate_level_missed(
+                nl, raw, faults, chunk=args.schedule_chunk,
+                deepening=False, scheduler=scheduler,
+                on_batch=on_batch, detect_times=detect)
+            arms[mode] = {
+                "seconds": time.perf_counter() - t0,
+                "missed": missed,
+                "detect": detect,
+                "checkpoints": checkpoints,
+                "work_total": cum["work"],
+                "dropped": cum["dropped"],
+            }
+    finally:
+        set_telemetry(previous)
+    outer = get_telemetry()
+    if outer.enabled:
+        from .telemetry import collector_payload
+
+        outer.absorb(collector_payload(tel))
+
+    def fault_key(f):
+        return (f.node_id, f.bit, f.cell_fault)
+
+    # Missed lists preserve the original fault order regardless of the
+    # schedule (verdicts scatter back by index), so direct comparison
+    # asserts bit-identical verdicts.
+    missed_cone = [fault_key(f) for f in arms["cone"]["missed"]]
+    identical = all(
+        [fault_key(f) for f in arms[m]["missed"]] == missed_cone
+        for m in ("predicted", "random"))
+    detected = len(faults) - len(missed_cone)
+    target = int(np.ceil(0.9 * detected))
+
+    # Predicted-vs-actual rank correlation, censored at 2x the session
+    # length (undetected / analytically-undetectable faults pin there)
+    # and aggregated per (node, bit) cell: the predictor ranks fault
+    # *sites*, and the scheduler moves batches, never single faults.
+    censor = 2.0 * vectors
+    detect = arms["cone"]["detect"]
+    actual = np.where(detect < 0, censor, detect).astype(float)
+    pred = np.minimum(np.where(np.isfinite(times_pred), times_pred,
+                               censor), censor)
+    cells = {}
+    for i, f in enumerate(faults):
+        cells.setdefault((f.node_id, f.bit), []).append(i)
+    cell_pred = [float(np.mean(pred[ix])) for ix in cells.values()]
+    cell_actual = [float(np.mean(actual[ix])) for ix in cells.values()]
+    rank_corr = spearman_rank_correlation(cell_pred, cell_actual)
+    rank_corr_fault = spearman_rank_correlation(pred, actual)
+
+    orderings = {}
+    for mode, arm in arms.items():
+        w90 = work_to_coverage(arm["checkpoints"], target)
+        orderings[mode] = {
+            "seconds": arm["seconds"],
+            "work_total": int(arm["work_total"]),
+            "work_to_90": None if w90 is None else int(w90),
+            "work_to_90_fraction":
+                None if w90 is None or not arm["work_total"]
+                else w90 / arm["work_total"],
+            "faults_dropped": int(arm["dropped"]),
+        }
+
+    report = {
+        "schema": "repro-bench-schedule/1",
+        "created_unix": _bench_now(args),
+        "git_sha": current_git_sha(),
+        "config": {
+            "design": name,
+            "generator": gen_kind,
+            "vectors": vectors,
+            "faults": len(faults),
+            "chunk": args.schedule_chunk,
+            "bins": args.schedule_bins,
+            "seed": args.schedule_seed,
+        },
+        "predictor": {
+            "seconds": predictor_seconds,
+            "unpredictable_faults":
+                int(np.count_nonzero(~np.isfinite(times_pred))),
+        },
+        "rank_correlation": rank_corr,
+        "rank_correlation_per_fault": rank_corr_fault,
+        "cells": len(cells),
+        "detected": detected,
+        "missed": len(missed_cone),
+        "target_detected": target,
+        "identical": identical,
+        "orderings": orderings,
+    }
+    with open(args.schedule_out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    w90 = {m: orderings[m]["work_to_90"] for m in orderings}
+    _ledger_append(args, build_record(
+        "bench-schedule",
+        config=report["config"],
+        created_unix=report["created_unix"],
+        bench={
+            "rank_correlation": rank_corr,
+            "work_to_90_cone": float(w90["cone"] or 0),
+            "work_to_90_predicted": float(w90["predicted"] or 0),
+            "work_to_90_random": float(w90["random"] or 0),
+            "predicted_vs_random":
+                (w90["random"] / w90["predicted"]
+                 if w90["predicted"] and w90["random"] else 0.0),
+        },
+        git_sha=report["git_sha"],
+        duration_seconds=predictor_seconds
+        + sum(a["seconds"] for a in arms.values()),
+        extra={"identical": identical, "missed": len(missed_cone)}))
+
+    print(f"schedule universe: {name}/{gen_kind}, {len(faults)} faults, "
+          f"{vectors} vectors (chunk {args.schedule_chunk}, no deepening)")
+    print(f"predictor: {predictor_seconds:6.2f}s  "
+          f"rank correlation {rank_corr:.4f} over {len(cells)} cells "
+          f"({rank_corr_fault:.4f} per fault)")
+    for mode in ("cone", "predicted", "random"):
+        o = orderings[mode]
+        frac = (f"{o['work_to_90_fraction']:.3f}"
+                if o["work_to_90_fraction"] is not None else "n/a")
+        print(f"{mode:9s} {o['seconds']:6.2f}s  "
+              f"work-to-90% {o['work_to_90'] or 0:>12,} "
+              f"({frac} of {o['work_total']:,})  "
+              f"dropped {o['faults_dropped']:,}")
+    print(f"identical: {identical}   wrote {args.schedule_out}")
+
+    if args.check:
+        failures = []
+        if not identical:
+            failures.append("scheduled verdicts differ from cone order")
+        if rank_corr < args.schedule_corr_threshold:
+            failures.append(
+                f"rank correlation {rank_corr:.4f} below threshold "
+                f"{args.schedule_corr_threshold:.2f}")
+        if (w90["predicted"] is None or w90["random"] is None
+                or w90["predicted"] >= w90["random"]):
+            failures.append(
+                f"predicted work-to-90% ({w90['predicted']}) does not "
+                f"beat random ({w90['random']})")
+        if failures:
+            for failure in failures:
+                print(f"bench check FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(f"bench check passed: rank correlation {rank_corr:.4f} "
+              f">= {args.schedule_corr_threshold:.2f}, predicted "
+              f"work-to-90% {w90['predicted']:,} < random "
+              f"{w90['random']:,}")
+    return 0
+
+
+def _bench_target(args):
+    """Which benchmark ``bench`` runs, from --gates / --schedule."""
+    if args.schedule == "bench":
+        if args.gates:
+            raise ReproError(
+                "--gates and the scheduling benchmark (bare --schedule) "
+                "are mutually exclusive")
+        return _cmd_bench_schedule
+    if args.schedule is not None and not args.gates:
+        raise ReproError(
+            "--schedule MODE picks the batch order for --gates; use a "
+            "bare --schedule to run the scheduling benchmark")
+    return _cmd_bench_gates if args.gates else _cmd_bench_grid
+
+
 def _cmd_bench(args) -> int:
+    target = _bench_target(args)  # fail fast on conflicting flags
     if not args.report:
-        return _cmd_bench_gates(args) if args.gates else _cmd_bench_grid(args)
+        return target(args)
 
     from .telemetry import InMemorySink, get_telemetry, write_run_report
 
@@ -714,7 +1058,7 @@ def _cmd_bench(args) -> int:
         tel = Telemetry(sinks=[sink])
         previous = set_telemetry(tel)
     try:
-        return _cmd_bench_gates(args) if args.gates else _cmd_bench_grid(args)
+        return target(args)
     finally:
         # Snapshot instruments into our private sink only — flushing the
         # shared collector here would duplicate snapshots in its sinks.
@@ -844,6 +1188,42 @@ def _cmd_bench_grid(args) -> int:
             return 1
         print(f"bench check passed: ratio {ratio:.2f} >= "
               f"{args.threshold:.2f}")
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    """``recommend``: best generator for a design, predictor-first."""
+    import json
+
+    from .schedule import recommend_generator
+
+    candidates = None
+    if args.candidates:
+        candidates = resolve_names(args.candidates, resolve_generator)
+        if not candidates:
+            raise ReproError("empty --candidates list")
+    ctx = ExperimentContext(cache=_make_cache(args))
+    out = recommend_generator(
+        ctx, args.design, vectors=args.vectors, top_k=args.top_k,
+        confirm_vectors=args.confirm_vectors,
+        confirm_faults=args.confirm_faults, bins=args.bins,
+        candidates=candidates)
+    if args.json:
+        print(json.dumps(out, indent=2, sort_keys=True))
+        return 0
+    print(f"recommendation for {out['design']} "
+          f"({out['fault_count']} behavioral faults, "
+          f"{out['vectors']}-vector sessions):")
+    for c in out["candidates"]:
+        marker = "*" if c["generator"] == out["best"] else " "
+        print(f" {marker} {c['name']:14s} rank {c['analytic_rank']}  "
+              f"predicted coverage {100 * c['predicted_coverage']:6.2f}%  "
+              f"ratio {c['compatibility_ratio']:7.3f}  {c['rating']}")
+    for c in out["confirmed"]:
+        print(f"   confirmed {c['generator']:8s} "
+              f"{100 * c['coverage']:6.2f}% of {c['faults']} gate-level "
+              f"faults at {c['vectors']} vectors")
+    print(f"best: {out['best']}")
     return 0
 
 
@@ -1023,9 +1403,23 @@ def _cmd_runs_watch(args) -> int:
         else:
             print(line)
 
+    import time
+
+    # --timeout is an overall deadline: a live stream that only sends
+    # keepalives (a hung job) must still fail by then, so the clock is
+    # checked both here per event and inside the stream reader per
+    # received line (client.events deadline=).
+    deadline = (time.monotonic() + args.timeout
+                if args.timeout > 0 else None)
+    timed_out = False
     final_state = None
+    poll_reason = None
     try:
-        for event in client.events(args.job):
+        for event in client.events(args.job, deadline=args.timeout
+                                   if args.timeout > 0 else None):
+            if deadline is not None and time.monotonic() >= deadline:
+                timed_out = True
+                break
             name, data = event.get("event"), event.get("data", {})
             if name == "progress":
                 render(str(data.get("stream", "progress")), data)
@@ -1039,16 +1433,26 @@ def _cmd_runs_watch(args) -> int:
                     break
             elif name == "shutdown":
                 break
+    except TimeoutError as exc:
+        # The stream going quiet before the deadline is a transport
+        # problem, not expiry — poll the job instead.
+        if deadline is not None and time.monotonic() >= deadline:
+            timed_out = True
+        else:
+            poll_reason = exc
     except (ServiceClientError, OSError) as exc:
         if isinstance(exc, ServiceClientError) and exc.status == 404:
             print(f"repro: no such job {args.job!r} at {args.url}",
                   file=sys.stderr)
             return 1
+        poll_reason = exc
+    if poll_reason is not None:
         logger.info("event stream unavailable (%s); falling back to "
-                    "polling", exc)
-        import time
-
-        while final_state is None:
+                    "polling", poll_reason)
+        while final_state is None and not timed_out:
+            if deadline is not None and time.monotonic() >= deadline:
+                timed_out = True
+                break
             doc = client.job(args.job,
                              wait=min(max(args.interval, 0.1), 30.0))
             for stream, pdoc in sorted((doc.get("progress") or {}).items()):
@@ -1059,6 +1463,10 @@ def _cmd_runs_watch(args) -> int:
                 time.sleep(max(args.interval, 0.1))
     if is_tty:
         print()
+    if timed_out:
+        print(f"repro: job {args.job} not terminal after "
+              f"{args.timeout:g}s (--timeout)", file=sys.stderr)
+        return 1
     if final_state is None:
         try:
             final_state = str(client.job(args.job).get("state", "unknown"))
@@ -1089,6 +1497,8 @@ def _dispatch(args, tel: Optional[Telemetry]) -> int:
         return _cmd_serve(args)
     if args.command == "runs":
         return _cmd_runs(args)
+    if args.command == "recommend":
+        return _cmd_recommend(args)
 
     ctx = ExperimentContext()
 

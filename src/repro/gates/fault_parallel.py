@@ -120,12 +120,21 @@ def _grade_cone_batch(
     chunk: int,
     ws: ConeWorkspace,
     length: Optional[int] = None,
+    first_detect: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, Dict[str, int]]:
     """Verdicts + drop statistics for one multi-word cone pass.
 
     ``length`` grades only the stimulus prefix ``[0, length)`` — the
     building block of the iterative-deepening driver; detection over a
     prefix is exact for that prefix.
+
+    ``first_detect`` (an ``int64`` array aligned with ``faults``, filled
+    with ``-1``) optionally receives each detected fault's first
+    detection time at chunk-end granularity: the end, in vectors, of the
+    chunk in which its faulty waveform first diverged.  Because every
+    pass grades from ``t=0`` the times are independent of batch
+    composition and schedule — the "actual" axis of the predicted-vs-
+    actual rank correlation in ``repro bench --schedule``.
     """
     n = len(faults)
     words = -(-n // 64)
@@ -146,10 +155,21 @@ def _grade_cone_batch(
     detected = np.zeros(words, dtype=np.uint64)
     active = np.arange(words)
     n_chunks = -(-length // chunk) if length else 0
-    skipped = dropped = 0
+    skipped = dropped = work = 0
+    lanes64 = np.arange(64, dtype=np.uint64)
     for ci, t0 in enumerate(range(0, length, chunk)):
         t1 = min(t0 + chunk, length)
-        detected[active] |= cone.evaluate_chunk(ws, t0, t1)
+        work += int(lanes_of[active].sum()) * (t1 - t0)
+        hits = cone.evaluate_chunk(ws, t0, t1)
+        if first_detect is not None:
+            fresh = hits & ~detected[active]
+            if fresh.any():
+                bits = ((fresh[:, None] >> lanes64[None, :])
+                        & np.uint64(1)).astype(bool)
+                rows = (active[:, None] * 64
+                        + np.arange(64)[None, :])[bits]
+                first_detect[rows[rows < n]] = t1
+        detected[active] |= hits
         done = detected[active] == full[active]
         if t1 == length:
             break
@@ -165,6 +185,7 @@ def _grade_cone_batch(
         "cone_nets": cone.cone_nets,
         "chunks_skipped": skipped,
         "faults_dropped": dropped,
+        "work": work,
     }
     lanes = np.arange(64, dtype=np.uint64)
     bits = ((detected[:, None] >> lanes[None, :]) & np.uint64(1))
@@ -195,6 +216,7 @@ def _emit_batch_stats(tel, n_faults: int, stats: Dict[str, int]) -> None:
     tel.counter("gates.fault_batches").add(1)
     tel.counter("gates.faults_graded").add(n_faults)
     tel.counter("gates.cone_nets").add(stats["cone_nets"])
+    tel.counter("gates.lane_vectors").add(stats["work"])
     if stats["chunks_skipped"]:
         tel.counter("gates.chunks_skipped").add(stats["chunks_skipped"])
     if stats["faults_dropped"]:
@@ -294,6 +316,11 @@ def gate_level_missed(
     cache=None,
     chunk: Optional[int] = None,
     words: Optional[int] = None,
+    scheduler: Optional[Callable[[Sequence[EnumeratedFault], int],
+                                 List[List[int]]]] = None,
+    on_batch: Optional[Callable[[Dict[str, int]], None]] = None,
+    detect_times: Optional[np.ndarray] = None,
+    deepening: bool = True,
 ) -> List[EnumeratedFault]:
     """Exact gate-level missed-fault list over an arbitrary universe.
 
@@ -307,8 +334,34 @@ def gate_level_missed(
     Pass an :class:`~repro.cache.ArtifactCache` as ``cache`` to persist
     (and reuse) the compiled program and the golden per-net waveforms,
     keyed on netlist + stimulus content.
+
+    ``scheduler`` swaps the batch-ordering policy: a callable with the
+    :func:`~repro.gates.faults.schedule_fault_batches` signature
+    (``(faults, batch_size) -> List[List[int]]``, index lists covering
+    every fault exactly once).  Verdicts are scattered back by index, so
+    any valid schedule yields bit-identical results — the property
+    ``repro bench --schedule`` asserts while measuring how much sooner a
+    predictor-guided order reaches 90% coverage (see
+    :mod:`repro.schedule`).
+
+    ``on_batch`` is invoked after every graded batch with a dict of
+    ``faults``/``prefix``/``work``/``dropped``/``detected``/
+    ``finalized`` — ``work`` being the exact active-lane × vector
+    products evaluated, the schedule benchmark's work unit.
+
+    ``detect_times`` (an ``int64`` array aligned with ``faults``, filled
+    with ``-1``) receives each detected fault's first detection time at
+    chunk-end granularity; undetected faults keep ``-1``.
+
+    ``deepening=False`` grades every batch at the full stimulus length
+    in one stage (per-word dropping still compacts within each batch).
+    The schedule benchmark uses this to isolate batch *ordering* as the
+    only easy-first mechanism; production callers should leave
+    deepening on.
     """
     tel = get_telemetry()
+    plan_batches = (schedule_fault_batches if scheduler is None
+                    else scheduler)
     raw = np.asarray(input_raw, dtype=np.int64)
     n_words = DEFAULT_WORDS if words is None else max(1, int(words))
     with tel.span("gates.fault_parallel", faults=len(faults),
@@ -336,23 +389,40 @@ def gate_level_missed(
         # never drags a full-length cone evaluation along with it.
         remaining = np.arange(n_faults)
         finalized = emitted = dropped = 0
-        for stage_len in _deepening_schedule(len(raw), chunk_len):
+        stages = (_deepening_schedule(len(raw), chunk_len) if deepening
+                  else [len(raw)])
+        for stage_len in stages:
             final = stage_len == len(raw)
             subset = [faults[i] for i in remaining]
-            for batch in schedule_fault_batches(subset, 64 * n_words):
+            for batch in plan_batches(subset, 64 * n_words):
                 idx = remaining[np.asarray(batch, dtype=np.int64)]
+                first_detect = (np.full(len(batch), -1, dtype=np.int64)
+                                if detect_times is not None else None)
                 with tel.span("gates.fault_batch", faults=len(batch),
                               prefix=stage_len):
                     batch_verdicts, stats = _grade_cone_batch(
                         prog, lane_waves,
                         [faults[i].netlist_fault for i in idx],
-                        chunk_len, ws, length=stage_len)
+                        chunk_len, ws, length=stage_len,
+                        first_detect=first_detect)
                 verdicts[idx] = batch_verdicts
+                if first_detect is not None:
+                    hit = first_detect >= 0
+                    detect_times[idx[hit]] = first_detect[hit]
                 dropped += stats["faults_dropped"]
                 if tel.enabled:
                     _emit_batch_stats(tel, len(batch), stats)
                 finalized += (len(batch) if final
                               else int(batch_verdicts.sum()))
+                if on_batch is not None:
+                    on_batch({
+                        "faults": len(batch),
+                        "prefix": stage_len,
+                        "work": stats["work"],
+                        "dropped": stats["faults_dropped"],
+                        "detected": int(verdicts.sum()),
+                        "finalized": finalized,
+                    })
                 if tel.enabled:
                     tel.progress(
                         "gates.grade", finalized, n_faults,

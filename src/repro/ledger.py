@@ -61,8 +61,8 @@ LEDGER_SCHEMA = "repro-ledger/1"
 LEDGER_FILE = "ledger.jsonl"
 
 #: Run kinds the registry recognizes.
-RUN_KINDS = ("sweep", "bench-parallel", "bench-gates", "profile",
-             "service-job")
+RUN_KINDS = ("sweep", "bench-parallel", "bench-gates", "bench-schedule",
+             "profile", "service-job")
 
 _REQUIRED_FIELDS = ("schema", "id", "kind", "created_unix", "config",
                     "config_fingerprint")

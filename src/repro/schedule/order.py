@@ -1,0 +1,151 @@
+"""Batch-ordering policies for the gate-level fault engine.
+
+:func:`repro.gates.fault_parallel.gate_level_missed` accepts any
+``(faults, batch_size) -> List[List[int]]`` callable as its
+``scheduler``; verdicts scatter back through the index lists, so every
+valid schedule is bit-identical in results and only the *order* of
+work changes.  Three policies:
+
+``cone``
+    PR 4's default: :func:`repro.gates.faults.schedule_fault_batches`
+    locality order, first-come batch sequence.
+``predicted``
+    The same cone-local batches, reordered easiest-first by the
+    analytic predictor (:class:`~repro.schedule.predictor.FaultPredictor`)
+    — ascending mean predicted detection time — so per-word fault
+    dropping compacts early and coverage accumulates front-loaded.
+``random``
+    The cone batches in a seeded-shuffled order: the control arm that
+    ``repro bench --schedule`` measures the predicted ordering against.
+
+All three keep the cone-locality *packing* untouched; they permute
+batches, never faults across batches, so the comparison isolates
+ordering from cone size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..gates.faults import EnumeratedFault, schedule_fault_batches
+from .predictor import FaultPredictor
+
+__all__ = [
+    "DEFAULT_SCHEDULE_SEED",
+    "SCHEDULE_MODES",
+    "PredictedScheduler",
+    "RandomScheduler",
+    "make_scheduler",
+    "order_sweep_tasks",
+]
+
+#: The batch-ordering policies the CLI knobs accept.
+SCHEDULE_MODES: Tuple[str, ...] = ("cone", "predicted", "random")
+
+#: Seed of the ``random`` control arm (deterministic in CI).
+DEFAULT_SCHEDULE_SEED = 0x5EED
+
+
+class PredictedScheduler:
+    """Cone batches, easiest-first by predicted detection time.
+
+    Called once per iterative-deepening stage with the surviving
+    subset; the predictor's memo makes rescoring survivors cheap.
+    ``inf`` predicted times (analytically undetectable patterns) sort
+    last via a finite sentinel so ``argsort`` stays well-defined.
+    """
+
+    def __init__(self, predictor: FaultPredictor):
+        self.predictor = predictor
+
+    def __call__(self, faults: Sequence[EnumeratedFault],
+                 batch_size: int = 64) -> List[List[int]]:
+        batches = schedule_fault_batches(faults, batch_size)
+        times = self.predictor.expected_times(faults)
+        finite = np.isfinite(times)
+        cap = 2.0 * float(times[finite].max()) + 1.0 if finite.any() else 1.0
+        scores = np.where(finite, times, cap)
+        keys = np.array([float(np.mean(scores[np.asarray(b, dtype=np.int64)]))
+                         for b in batches])
+        order = np.argsort(keys, kind="stable")
+        return [batches[i] for i in order]
+
+
+class RandomScheduler:
+    """Cone batches in a seeded-shuffled order (the control arm).
+
+    The shuffle is keyed on ``(seed, len(faults))`` so each deepening
+    stage draws a fresh — but reproducible — permutation.
+    """
+
+    def __init__(self, seed: int = DEFAULT_SCHEDULE_SEED):
+        self.seed = int(seed)
+
+    def __call__(self, faults: Sequence[EnumeratedFault],
+                 batch_size: int = 64) -> List[List[int]]:
+        batches = schedule_fault_batches(faults, batch_size)
+        rng = np.random.default_rng((self.seed, len(faults)))
+        return [batches[i] for i in rng.permutation(len(batches))]
+
+
+def order_sweep_tasks(designs, tasks, mode: str, *,
+                      seed: int = DEFAULT_SCHEDULE_SEED) -> List:
+    """Reorder behavioral sweep sessions by schedule policy.
+
+    The session-level analogue of the batch schedulers above:
+    ``predicted`` runs the sessions the Eq. 1 compatibility ratio rates
+    best first (so early grid lines show the generators the analytic
+    model would pick), ``random`` is the seeded control shuffle, and
+    ``cone`` keeps the design x generator product order.  ``designs``
+    maps design name to :class:`~repro.rtl.build.FilterDesign`;
+    ``tasks`` are :class:`~repro.parallel.sweep.SweepTask` rows.
+    """
+    if mode not in SCHEDULE_MODES:
+        raise ReproError(f"unknown schedule mode {mode!r}; "
+                         f"valid choices: {', '.join(SCHEDULE_MODES)}")
+    tasks = list(tasks)
+    if mode == "cone":
+        return tasks
+    if mode == "random":
+        rng = np.random.default_rng((DEFAULT_SCHEDULE_SEED
+                                     if seed is None else seed, len(tasks)))
+        return [tasks[i] for i in rng.permutation(len(tasks))]
+
+    from ..bist.selection import rank_generators
+    from ..resolve import make_generator, resolve_generator
+
+    ratios = {}
+    for task in tasks:
+        key = (task.design, task.generator)
+        if key in ratios:
+            continue
+        gen = make_generator(resolve_generator(task.generator),
+                             task.width, task.n_vectors)
+        ratios[key] = float(rank_generators(designs[task.design],
+                                            [gen])[0].ratio)
+    order = sorted(range(len(tasks)),
+                   key=lambda i: -ratios[(tasks[i].design,
+                                          tasks[i].generator)])
+    return [tasks[i] for i in order]
+
+
+def make_scheduler(mode: str, *, predictor: FaultPredictor = None,
+                   seed: int = DEFAULT_SCHEDULE_SEED):
+    """A ``gate_level_missed``-compatible scheduler for ``mode``.
+
+    ``predicted`` requires a :class:`FaultPredictor`; ``cone`` returns
+    the stock :func:`~repro.gates.faults.schedule_fault_batches`.
+    """
+    if mode not in SCHEDULE_MODES:
+        raise ReproError(f"unknown schedule mode {mode!r}; "
+                         f"valid choices: {', '.join(SCHEDULE_MODES)}")
+    if mode == "cone":
+        return schedule_fault_batches
+    if mode == "random":
+        return RandomScheduler(seed)
+    if predictor is None:
+        raise ReproError("schedule mode 'predicted' needs a FaultPredictor")
+    return PredictedScheduler(predictor)

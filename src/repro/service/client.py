@@ -177,7 +177,8 @@ class ServiceClient:
         return doc["result"]
 
     def events(self, job_id: Optional[str] = None, *,
-               timeout: Optional[float] = None):
+               timeout: Optional[float] = None,
+               deadline: Optional[float] = None):
         """Yield parsed events from the ``GET /v1/events`` SSE stream.
 
         Each yielded dict is ``{"event": name, "data": {...}}`` (plus
@@ -186,11 +187,20 @@ class ServiceClient:
         finishes, so iteration simply ends.  ``timeout`` bounds the
         *gap between frames*, not the whole stream — the server's
         keepalive comments reset it — and raises ``TimeoutError`` via
-        the underlying socket when exceeded.
+        the underlying socket when exceeded.  ``deadline`` bounds the
+        *whole stream* in seconds: iteration raises ``TimeoutError``
+        once it expires even while keepalives or events keep arriving
+        (the check runs per received line, so a 15s-keepalive stream
+        fails within one keepalive interval of the deadline).
         """
-        conn = http.client.HTTPConnection(
-            self.host, self.port,
-            timeout=self.timeout if timeout is None else timeout)
+        expires = (None if deadline is None
+                   else time.monotonic() + max(deadline, 0.0))
+        gap = self.timeout if timeout is None else timeout
+        if deadline is not None:
+            # A dead peer must also fail by the deadline, not just a
+            # live-but-stuck one: never wait on the socket past it.
+            gap = min(gap, max(deadline, 0.1))
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=gap)
         path = "/v1/events"
         if job_id is not None:
             path += f"?job={job_id}"
@@ -211,6 +221,9 @@ class ServiceClient:
                                              "unavailable")), doc)
             event: Dict[str, Any] = {}
             for raw_line in resp:
+                if expires is not None and time.monotonic() >= expires:
+                    raise TimeoutError(
+                        f"event stream deadline ({deadline:g}s) exceeded")
                 line = raw_line.decode("utf-8").rstrip("\r\n")
                 if not line:  # blank line = frame boundary
                     if "data" in event:

@@ -38,8 +38,11 @@ __all__ = ["Job", "JobState", "JobStore", "JOB_KINDS", "BATCHABLE_KINDS",
 #: ranking per Table 3 is ``rank``, fault grading per Tables 4-5 is
 #: ``grade``, serious-fault checks per Figures 2-3 are ``serious-fault``;
 #: ``gate-grade`` is the exact gate-level grader, the long-running kind
-#: whose per-batch progress shows up live on the job document).
-JOB_KINDS = ("rank", "grade", "spectrum", "serious-fault", "gate-grade")
+#: whose per-batch progress shows up live on the job document;
+#: ``recommend`` answers "best generator for this design" from the
+#: analytic predictor, gate-grading only the top-k candidates).
+JOB_KINDS = ("rank", "grade", "spectrum", "serious-fault", "gate-grade",
+             "recommend")
 
 #: Kinds whose requests are small enough that the worker pool batches
 #: several queued ones into a single executor pass.
@@ -125,6 +128,17 @@ def canonical_params(kind: str, params: Optional[Dict[str, Any]]
         # 0 means "the whole enumerated universe" (still capped at
         # execution time by the netlist's own fault count).
         out["faults"] = _int_param(params, "faults", 256, 0, MAX_GATE_FAULTS)
+    elif kind == "recommend":
+        out["design"] = resolve_design(params.pop("design", "LP"))
+        out["vectors"] = _int_param(params, "vectors", 4096, 2, MAX_VECTORS)
+        # top_k bounds the gate-level confirmation passes (0 = analytic
+        # ranking only); the confirm budgets share the gate-grade caps.
+        out["top_k"] = _int_param(params, "top_k", 2, 0, 5)
+        out["confirm_vectors"] = _int_param(
+            params, "confirm_vectors", 256, 0, MAX_GATE_VECTORS)
+        out["confirm_faults"] = _int_param(
+            params, "confirm_faults", 512, 0, MAX_GATE_FAULTS)
+        out["bins"] = _int_param(params, "bins", 256, 16, 4096)
     else:  # serious-fault: the Figures 2-3 demonstration has no knobs
         pass
     if params:

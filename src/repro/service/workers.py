@@ -137,6 +137,15 @@ def execute_job(ctx, kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
             "missed": len(missed),
             "coverage": detected / max(1, len(faults)),
         }
+    if kind == "recommend":
+        from ..schedule import recommend_generator
+
+        return recommend_generator(
+            ctx, params["design"], vectors=params["vectors"],
+            top_k=params["top_k"],
+            confirm_vectors=params["confirm_vectors"],
+            confirm_faults=params["confirm_faults"],
+            bins=params["bins"])
     if kind == "serious-fault":
         from ..experiments.figures import find_serious_missed_fault
 

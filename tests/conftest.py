@@ -15,6 +15,22 @@ from repro.filters import lowpass_design
 
 from helpers import build_small_design
 
+#: Modules whose tests dominate suite wall-clock (gate-level
+#: equivalence sweeps, full service round-trips); CI runs them in a
+#: separate ``-m slow`` lane so the unit lane stays fast.
+_SLOW_MODULES = {
+    "test_gates_equivalence",
+    "test_service_e2e",
+    "test_service_events",
+    "test_service_http",
+}
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if item.module.__name__ in _SLOW_MODULES:
+            item.add_marker(pytest.mark.slow)
+
 
 @pytest.fixture(autouse=True)
 def _isolated_ledger(tmp_path, monkeypatch):

@@ -1,0 +1,401 @@
+"""Predictor-guided scheduling: ranking properties and oracle equivalence.
+
+The scheduling layer must be a *pure reordering*: any batch order
+produces bit-identical verdicts (mirroring the cone-vs-reference
+contract in ``test_gates_equivalence.py``), and the analytic ranking it
+orders by must be a function of the fault set alone — invariant under
+permutations of the fault universe.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, ServiceError
+from repro.gates import (
+    elaborate,
+    enumerate_cell_faults,
+    gate_level_missed,
+    schedule_fault_batches,
+)
+from repro.schedule import (
+    FaultPredictor,
+    PredictedScheduler,
+    RandomScheduler,
+    average_ranks,
+    make_scheduler,
+    order_sweep_tasks,
+    recommend_generator,
+    spearman_rank_correlation,
+    work_to_coverage,
+)
+from repro.service.jobs import canonical_params
+
+from helpers import build_small_design
+
+
+def _fault_key(fault):
+    return (fault.node_id, fault.bit, fault.cell_fault)
+
+
+@pytest.fixture(scope="module")
+def small():
+    design = build_small_design()
+    nl = elaborate(design.graph)
+    faults = enumerate_cell_faults(design.graph, nl)
+    return design, nl, faults
+
+
+class TestStats:
+    def test_average_ranks_ties(self):
+        assert list(average_ranks([10.0, 20.0, 10.0, 30.0])) \
+            == [1.5, 3.0, 1.5, 4.0]
+
+    def test_spearman_perfect_and_inverse(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        assert spearman_rank_correlation(x, [10, 20, 30, 40]) \
+            == pytest.approx(1.0)
+        assert spearman_rank_correlation(x, [40, 30, 20, 10]) \
+            == pytest.approx(-1.0)
+
+    def test_spearman_monotone_transform_invariant(self):
+        rng = np.random.default_rng(7)
+        x = rng.uniform(1, 100, size=50)
+        y = rng.uniform(1, 100, size=50)
+        rho = spearman_rank_correlation(x, y)
+        assert spearman_rank_correlation(np.log(x), y ** 3) \
+            == pytest.approx(rho)
+
+    def test_spearman_constant_is_zero(self):
+        assert spearman_rank_correlation([5, 5, 5], [1, 2, 3]) == 0.0
+
+    def test_spearman_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1], [2])
+
+    def test_work_to_coverage(self):
+        cp = [(100, 5), (250, 9), (400, 10)]
+        assert work_to_coverage(cp, 9) == 250
+        assert work_to_coverage(cp, 10) == 400
+        assert work_to_coverage(cp, 11) is None
+        assert work_to_coverage(cp, 0) == 0
+
+
+class TestPredictor:
+    def test_probabilities_are_probabilities(self, small):
+        design, _, faults = small
+        p = FaultPredictor(design, "lfsr1", bins=64) \
+            .detection_probability(faults)
+        assert p.shape == (len(faults),)
+        assert np.all(p >= 0.0) and np.all(p <= 1.0)
+
+    def test_expected_times_inverse(self, small):
+        design, _, faults = small
+        pred = FaultPredictor(design, "lfsr1", bins=64)
+        p = pred.detection_probability(faults)
+        t = pred.expected_times(faults)
+        hit = p > 0
+        assert np.allclose(t[hit], 1.0 / p[hit])
+        assert np.all(np.isinf(t[~hit]))
+
+    def test_ranking_invariant_under_permutation(self, small):
+        """Property: scores are a function of the fault, not its index.
+
+        Scoring a permuted universe must yield exactly the permuted
+        scores, so the induced ranking is permutation-invariant.
+        """
+        design, _, faults = small
+        rng = np.random.default_rng(20260807)
+        base = FaultPredictor(design, "lfsr1", bins=64) \
+            .expected_times(faults)
+        for _ in range(3):
+            perm = rng.permutation(len(faults))
+            shuffled = FaultPredictor(design, "lfsr1", bins=64) \
+                .expected_times([faults[i] for i in perm])
+            assert np.array_equal(shuffled, base[perm])
+
+    def test_all_generators_have_models(self, small):
+        design, _, faults = small
+        for gen in ("lfsr1", "lfsr2", "lfsrd", "lfsrm", "ramp", "mixed"):
+            p = FaultPredictor(design, gen, bins=32) \
+                .detection_probability(faults[:8])
+            assert np.all((p >= 0.0) & (p <= 1.0))
+
+
+class TestSchedulers:
+    def test_every_schedule_partitions_the_universe(self, small):
+        design, _, faults = small
+        predictor = FaultPredictor(design, "lfsr1", bins=64)
+        for scheduler in (schedule_fault_batches,
+                          PredictedScheduler(predictor),
+                          RandomScheduler()):
+            batches = scheduler(faults, 64)
+            flat = sorted(i for b in batches for i in b)
+            assert flat == list(range(len(faults)))
+
+    def test_reordering_keeps_cone_packing(self, small):
+        """Schedulers permute whole batches, never faults across them."""
+        design, _, faults = small
+        stock = {frozenset(b) for b in schedule_fault_batches(faults, 64)}
+        predictor = FaultPredictor(design, "lfsr1", bins=64)
+        for scheduler in (PredictedScheduler(predictor), RandomScheduler()):
+            assert {frozenset(b) for b in scheduler(faults, 64)} == stock
+
+    def test_random_is_seeded(self, small):
+        _, _, faults = small
+        a = RandomScheduler(seed=11)(faults, 64)
+        b = RandomScheduler(seed=11)(faults, 64)
+        c = RandomScheduler(seed=12)(faults, 64)
+        assert a == b
+        assert a != c
+
+    def test_make_scheduler_errors(self):
+        with pytest.raises(ReproError):
+            make_scheduler("alphabetical")
+        with pytest.raises(ReproError):
+            make_scheduler("predicted")  # needs a predictor
+        assert make_scheduler("cone") is schedule_fault_batches
+
+
+class TestOracleEquivalence:
+    """``--schedule predicted`` must change nothing but the order."""
+
+    @pytest.mark.parametrize("deepening", [True, False])
+    def test_verdicts_identical_across_schedules(self, small, deepening):
+        design, nl, faults = small
+        rng = np.random.default_rng(99)
+        raw = rng.integers(-2048, 2048, size=300)
+        predictor = FaultPredictor(design, "lfsr1", bins=64)
+        expect = [_fault_key(f) for f in gate_level_missed(
+            nl, raw, faults, deepening=deepening)]
+        for mode in ("predicted", "random"):
+            scheduler = make_scheduler(mode, predictor=predictor)
+            got = [_fault_key(f) for f in gate_level_missed(
+                nl, raw, faults, scheduler=scheduler, deepening=deepening)]
+            assert got == expect, mode
+
+    def test_detect_times_schedule_independent(self, small):
+        design, nl, faults = small
+        rng = np.random.default_rng(5)
+        raw = rng.integers(-2048, 2048, size=256)
+        predictor = FaultPredictor(design, "lfsr1", bins=64)
+        collected = {}
+        for mode in ("cone", "predicted", "random"):
+            scheduler = (None if mode == "cone"
+                         else make_scheduler(mode, predictor=predictor))
+            times = np.full(len(faults), -1, dtype=np.int64)
+            missed = gate_level_missed(nl, raw, faults, chunk=32,
+                                       scheduler=scheduler,
+                                       deepening=False, detect_times=times)
+            collected[mode] = times.copy()
+            missed_idx = {id(f) for f in missed}
+            for i, f in enumerate(faults):
+                if id(f) in missed_idx:
+                    assert times[i] == -1
+                else:
+                    assert 0 < times[i] <= len(raw)
+        assert np.array_equal(collected["cone"], collected["predicted"])
+        assert np.array_equal(collected["cone"], collected["random"])
+
+    def test_on_batch_work_accounting(self, small):
+        _, nl, faults = small
+        raw = np.arange(-64, 64)
+        seen = []
+        gate_level_missed(nl, raw, faults, deepening=False,
+                          on_batch=seen.append)
+        assert seen, "on_batch never fired"
+        assert sum(b["faults"] for b in seen) == len(faults)
+        assert all(b["work"] > 0 for b in seen)
+        # Final cumulative detected matches the verdict count.
+        missed = gate_level_missed(nl, raw, faults, deepening=False)
+        assert seen[-1]["detected"] == len(faults) - len(missed)
+
+
+class TestSweepOrdering:
+    def _tasks(self):
+        from repro.parallel.sweep import SweepTask
+
+        return [SweepTask(design=d, generator=g, n_vectors=64, width=12)
+                for d in ("LP", "BP") for g in ("LFSR-1", "LFSR-M")]
+
+    def test_cone_keeps_product_order(self, ctx):
+        tasks = self._tasks()
+        assert order_sweep_tasks(ctx.designs, tasks, "cone") == tasks
+
+    def test_random_is_seeded_permutation(self, ctx):
+        tasks = self._tasks()
+        a = order_sweep_tasks(ctx.designs, tasks, "random")
+        b = order_sweep_tasks(ctx.designs, tasks, "random")
+        assert a == b
+        assert sorted(t.key for t in a) == sorted(t.key for t in tasks)
+
+    def test_predicted_sorts_by_compatibility(self, ctx):
+        from repro.bist.selection import rank_generators
+        from repro.resolve import make_generator, resolve_generator
+
+        tasks = self._tasks()
+        ordered = order_sweep_tasks(ctx.designs, tasks, "predicted")
+        assert sorted(t.key for t in ordered) \
+            == sorted(t.key for t in tasks)
+        ratios = []
+        for t in ordered:
+            gen = make_generator(resolve_generator(t.generator),
+                                 t.width, t.n_vectors)
+            ratios.append(rank_generators(ctx.designs[t.design],
+                                          [gen])[0].ratio)
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_unknown_mode_raises(self, ctx):
+        with pytest.raises(ReproError):
+            order_sweep_tasks(ctx.designs, self._tasks(), "fifo")
+
+
+class TestRecommend:
+    def test_analytic_only(self, ctx):
+        out = recommend_generator(ctx, "LP", vectors=256, top_k=0,
+                                  bins=32, candidates=("lfsr1", "lfsrm"))
+        assert out["best"] in ("lfsr1", "lfsrm")
+        assert out["confirmed"] == []
+        ranks = [c["analytic_rank"] for c in out["candidates"]]
+        assert ranks == [1, 2]
+        for c in out["candidates"]:
+            assert 0.0 <= c["predicted_coverage"] <= 1.0
+
+    def test_confirmed_recommendation(self, ctx):
+        out = recommend_generator(ctx, "LP", vectors=256, top_k=2,
+                                  confirm_vectors=64, confirm_faults=128,
+                                  bins=32, candidates=("lfsr1", "ramp"))
+        assert len(out["confirmed"]) == 2
+        assert out["best"] in ("lfsr1", "ramp")
+        best = max(out["confirmed"],
+                   key=lambda c: (c["coverage"], -c["analytic_rank"]))
+        assert out["best"] == best["generator"]
+        for c in out["confirmed"]:
+            assert c["faults"] <= 128
+            assert c["detected"] + c["missed"] == c["faults"]
+
+    def test_service_params_validation(self):
+        out = canonical_params("recommend", {"design": "lp", "top_k": 3})
+        assert out["design"] == "LP"
+        assert out["top_k"] == 3
+        assert out["confirm_faults"] > 0
+        with pytest.raises(ServiceError):
+            canonical_params("recommend", {"top_k": 99})
+        with pytest.raises(ServiceError):
+            canonical_params("recommend", {"no_such_knob": 1})
+
+
+class TestScheduleBenchCli:
+    def test_bench_schedule_writes_report_and_ledger(self, tmp_path,
+                                                     monkeypatch):
+        from repro.cli import main
+        from repro.ledger import RunLedger
+
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+        out = tmp_path / "BENCH_schedule.json"
+        rc = main(["bench", "--schedule",
+                   "--schedule-faults", "512",
+                   "--schedule-vectors", "256",
+                   "--schedule-bins", "32",
+                   "--schedule-out", str(out),
+                   "--now", "1754500000"])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro-bench-schedule/1"
+        assert report["identical"] is True
+        assert report["created_unix"] == 1754500000
+        assert set(report["orderings"]) == {"cone", "predicted", "random"}
+        for o in report["orderings"].values():
+            assert o["work_total"] > 0
+        records = RunLedger(str(tmp_path / "ledger")).records(
+            kind="bench-schedule")
+        assert len(records) == 1
+        assert "rank_correlation" in records[0]["bench"]
+
+    def test_conflicting_flags_fail_fast(self, tmp_path):
+        from repro.cli import main
+
+        assert main(["bench", "--gates", "--schedule"]) == 2
+        assert main(["bench", "--schedule", "predicted"]) == 2
+
+
+class _KeepaliveSseServer(threading.Thread):
+    """Accepts one HTTP request and streams SSE keepalives forever.
+
+    Models a live service with a hung job: the stream never goes quiet
+    (so gap timeouts never fire) yet never delivers a terminal event.
+    """
+
+    def __init__(self):
+        super().__init__(daemon=True)
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(1)
+        self.port = self.sock.getsockname()[1]
+        self.stop = threading.Event()
+
+    def run(self):
+        try:
+            conn, _ = self.sock.accept()
+        except OSError:
+            return
+        try:
+            conn.settimeout(0.2)
+            data = b""
+            while b"\r\n\r\n" not in data:
+                try:
+                    data += conn.recv(4096)
+                except socket.timeout:
+                    break
+            conn.sendall(b"HTTP/1.1 200 OK\r\n"
+                         b"Content-Type: text/event-stream\r\n"
+                         b"Connection: close\r\n\r\n")
+            while not self.stop.is_set():
+                conn.sendall(b": keepalive\n\n")
+                time.sleep(0.05)
+        except OSError:
+            pass
+        finally:
+            conn.close()
+
+    def close(self):
+        self.stop.set()
+        self.sock.close()
+
+
+class TestWatchTimeout:
+    def test_watch_fails_by_deadline_on_keepalive_only_stream(self):
+        from repro.cli import main
+
+        server = _KeepaliveSseServer()
+        server.start()
+        try:
+            t0 = time.monotonic()
+            rc = main(["runs", "watch", "job-hung",
+                       "--url", f"http://127.0.0.1:{server.port}",
+                       "--timeout", "1.0", "--interval", "0.1"])
+            elapsed = time.monotonic() - t0
+        finally:
+            server.close()
+        assert rc == 1
+        assert elapsed < 10.0
+
+    def test_events_deadline_raises(self):
+        from repro.service.client import ServiceClient
+
+        server = _KeepaliveSseServer()
+        server.start()
+        client = ServiceClient(f"http://127.0.0.1:{server.port}")
+        try:
+            with pytest.raises(TimeoutError):
+                for _ in client.events("job-hung", deadline=0.5):
+                    pass
+        finally:
+            server.close()
