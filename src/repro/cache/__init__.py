@@ -21,6 +21,7 @@ or from the CLI: ``python -m repro sweep --cache-dir PATH`` /
 and the package version, so upgrades never read stale encodings.
 """
 
+from .backends import HttpStore, LocalStore, StoreBackend, safe_component
 from .keys import (
     CACHE_SCHEMA,
     code_version,
@@ -39,10 +40,12 @@ from .pipeline import (
     cached_netlist,
     cached_universe,
 )
+from .server import ArtifactServer
 from .store import ArtifactCache, CacheStats, default_cache_dir
 
 __all__ = [
     "ArtifactCache",
+    "ArtifactServer",
     "CACHE_SCHEMA",
     "CacheStats",
     "cached_coverage",
@@ -56,7 +59,11 @@ __all__ = [
     "default_cache_dir",
     "design_fingerprint",
     "generator_fingerprint",
+    "HttpStore",
+    "LocalStore",
     "netlist_fingerprint",
+    "safe_component",
     "stable_hash",
     "stimulus_fingerprint",
+    "StoreBackend",
 ]

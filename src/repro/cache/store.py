@@ -1,24 +1,33 @@
-"""Content-addressed on-disk artifact store.
+"""Content-addressed artifact store.
 
-Entries are ``.npz`` files under ``<root>/<kind>/<hash>.npz`` where
+Entries are ``.npz`` documents addressed by ``(kind, hash)`` where
 ``hash`` is the :func:`~repro.cache.keys.stable_hash` of the key
-payload.  The store is safe against concurrent writers (atomic
-``os.replace`` of a same-directory temp file), recovers from corrupted
-or truncated entries by evicting them, and keeps total size under a cap
-with least-recently-*used* eviction (hits refresh an entry's mtime).
+payload.  *Where the bytes live* is a pluggable
+:class:`~repro.cache.backends.StoreBackend`: the default
+:class:`~repro.cache.backends.LocalStore` keeps the original on-disk
+layout (``<root>/<kind>/<hash>.npz``, atomic ``os.replace`` writes,
+LRU size-cap eviction with hit-refreshed mtimes), while
+:class:`~repro.cache.backends.HttpStore` shares one artifact server
+across a worker fleet — pass an ``http://host:port`` URL where a
+directory is expected (``--cache-dir``, ``$REPRO_CACHE_DIR``) and the
+cache goes remote with the same keys.
 
-Hit/miss/store/eviction totals are kept per store instance and mirrored
-into the active telemetry collector as ``cache.hit`` / ``cache.miss`` /
-``cache.store`` / ``cache.evict`` counters (plus per-kind variants such
-as ``cache.hit.universe``), so a warm-run assertion is one counter read.
+The store recovers from corrupted or truncated entries by evicting
+them.  Hit/miss/store/eviction totals are kept per store instance and
+mirrored into the active telemetry collector as ``cache.hit`` /
+``cache.miss`` / ``cache.store`` / ``cache.evict`` counters (plus
+per-kind variants such as ``cache.hit.universe``); remote backends use
+the parallel ``cache.remote_hit`` / ``cache.remote_miss`` /
+``cache.remote_store`` family, so a warm-run assertion is one counter
+read either way.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import logging
 import os
-import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -26,6 +35,7 @@ import numpy as np
 
 from ..errors import CacheError
 from ..telemetry import get_telemetry
+from .backends import HttpStore, LocalStore, StoreBackend
 from .keys import code_version, stable_hash
 
 __all__ = ["ArtifactCache", "CacheStats", "default_cache_dir"]
@@ -40,7 +50,11 @@ _META = "__meta__"
 
 
 def default_cache_dir() -> str:
-    """``$REPRO_CACHE_DIR``, or a per-user cache directory."""
+    """``$REPRO_CACHE_DIR``, or a per-user cache directory.
+
+    The environment value may also be an ``http://`` artifact-server
+    URL (see :class:`~repro.cache.backends.HttpStore`).
+    """
     env = os.environ.get("REPRO_CACHE_DIR")
     if env:
         return env
@@ -72,17 +86,29 @@ class ArtifactCache:
     Parameters
     ----------
     root:
-        Directory holding the store (created on first write).
+        Directory holding the store (created on first write), or an
+        ``http://host:port`` artifact-server URL for a remote store.
     max_bytes:
         Total-size cap enforced after every store; ``None`` disables
-        eviction.
+        eviction.  Remote stores enforce their own cap server-side.
+    backend:
+        Explicit :class:`~repro.cache.backends.StoreBackend`; overrides
+        ``root``.
     """
 
     def __init__(self, root: Optional[str] = None,
-                 max_bytes: Optional[int] = DEFAULT_MAX_BYTES):
-        self.root = os.path.abspath(root or default_cache_dir())
+                 max_bytes: Optional[int] = DEFAULT_MAX_BYTES,
+                 backend: Optional[StoreBackend] = None):
         if max_bytes is not None and max_bytes <= 0:
             raise CacheError(f"max_bytes must be positive, got {max_bytes}")
+        if backend is None:
+            spec = str(root) if root is not None else default_cache_dir()
+            if spec.startswith(("http://", "https://")):
+                backend = HttpStore(spec)
+            else:
+                backend = LocalStore(spec)
+        self.backend = backend
+        self.root = backend.describe()
         self.max_bytes = max_bytes
         self.stats = CacheStats()
 
@@ -97,7 +123,9 @@ class ArtifactCache:
         return stable_hash(doc)
 
     def entry_path(self, kind: str, key: str) -> str:
-        return os.path.join(self.root, kind, f"{key}.npz")
+        if isinstance(self.backend, LocalStore):
+            return self.backend.path(kind, key)
+        return f"{self.root}/v1/artifacts/{kind}/{key}"
 
     # ------------------------------------------------------------------
     # Load / store
@@ -107,32 +135,31 @@ class ArtifactCache:
         """Fetch the arrays stored for ``payload``, or ``None`` on miss.
 
         A corrupted or unreadable entry counts as a miss; the broken
-        file is removed so the slot can be rebuilt cleanly.
+        entry is removed so the slot can be rebuilt cleanly.
         """
         key = self.key(kind, payload)
-        path = self.entry_path(kind, key)
         tel = get_telemetry()
-        try:
-            with np.load(path, allow_pickle=False) as npz:
-                out = self._decode(npz)
-        except FileNotFoundError:
+        data = self.backend.get(kind, key)
+        if data is None:
             self._count(tel, kind, "miss")
             return None
-        except Exception as exc:  # truncated/corrupted/foreign file
-            logger.warning("cache: evicting corrupted entry %s (%s)",
-                           path, exc)
-            self._remove(path)
+        try:
+            with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+                out = self._decode(npz)
+        except Exception as exc:  # truncated/corrupted/foreign entry
+            logger.warning("cache: evicting corrupted entry %s/%s (%s)",
+                           kind, key, exc)
+            self.backend.delete(kind, key)
             self.stats.bump(kind, "recovered")
             self._count(tel, kind, "miss")
             return None
-        self._touch(path)
         self._count(tel, kind, "hit")
         return out
 
     def store(self, kind: str, payload: Dict[str, Any],
               arrays: Dict[str, Any], meta: Optional[Dict[str, Any]] = None
               ) -> str:
-        """Write an entry atomically; returns its path.
+        """Write an entry atomically; returns its address.
 
         ``arrays`` maps names to numpy arrays (scalars are promoted);
         ``meta`` is an optional JSON document stored alongside them.
@@ -141,72 +168,42 @@ class ArtifactCache:
             if name == _META:
                 raise CacheError(f"array name {name!r} is reserved")
         key = self.key(kind, payload)
-        path = self.entry_path(kind, key)
-        directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
         encoded = {k: np.asarray(v) for k, v in arrays.items()}
         encoded[_META] = np.frombuffer(
             json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8)
-        fd, tmp = tempfile.mkstemp(suffix=".tmp", prefix=f".{key[:12]}-",
-                                   dir=directory)
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                np.savez_compressed(fh, **encoded)
-            os.replace(tmp, path)
-        except BaseException:
-            self._remove(tmp)
-            raise
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **encoded)
+        self.backend.put(kind, key, buf.getvalue())
         self._count(get_telemetry(), kind, "store")
         self.evict()
-        return path
+        return self.entry_path(kind, key)
 
     # ------------------------------------------------------------------
     # Eviction and maintenance
     # ------------------------------------------------------------------
     def entries(self) -> List[Tuple[str, float, int]]:
         """All ``(path, mtime, size)`` entries, oldest first."""
-        found: List[Tuple[str, float, int]] = []
-        if not os.path.isdir(self.root):
-            return found
-        for dirpath, _dirnames, filenames in os.walk(self.root):
-            for name in filenames:
-                if not name.endswith(".npz"):
-                    continue
-                path = os.path.join(dirpath, name)
-                try:
-                    st = os.stat(path)
-                except OSError:
-                    continue
-                found.append((path, st.st_mtime, st.st_size))
-        found.sort(key=lambda e: (e[1], e[0]))
-        return found
+        return self.backend.entries()
 
     def total_bytes(self) -> int:
         return sum(size for _path, _mtime, size in self.entries())
 
     def evict(self) -> int:
         """Drop least-recently-used entries until under the size cap."""
-        if self.max_bytes is None:
-            return 0
-        entries = self.entries()
-        total = sum(size for _p, _m, size in entries)
-        removed = 0
-        tel = get_telemetry()
-        for path, _mtime, size in entries:
-            if total <= self.max_bytes:
-                break
-            self._remove(path)
-            total -= size
-            removed += 1
-            kind = os.path.basename(os.path.dirname(path))
-            self._count(tel, kind, "evict")
+        removed = self.backend.evict(self.max_bytes)
+        if removed:
+            # Backend counted per-kind telemetry; fold into local stats.
+            self.stats.evictions += removed
         return removed
 
     def clear(self) -> int:
         """Remove every entry; returns the number removed."""
         entries = self.entries()
         for path, _mtime, _size in entries:
-            self._remove(path)
+            try:
+                os.remove(path)
+            except OSError:
+                pass
         return len(entries)
 
     # ------------------------------------------------------------------
@@ -226,26 +223,18 @@ class ArtifactCache:
 
     _EVENT_COUNTER = {"hit": "cache.hit", "miss": "cache.miss",
                       "store": "cache.store", "evict": "cache.evict"}
+    _REMOTE_COUNTER = {"hit": "cache.remote_hit",
+                       "miss": "cache.remote_miss",
+                       "store": "cache.remote_store",
+                       "evict": "cache.remote_evict"}
     _EVENT_STAT = {"hit": "hits", "miss": "misses",
                    "store": "stores", "evict": "evictions"}
 
     def _count(self, tel, kind: str, event: str) -> None:
         self.stats.bump(kind, self._EVENT_STAT[event])
         if tel.enabled:
-            base = self._EVENT_COUNTER[event]
+            table = (self._REMOTE_COUNTER if self.backend.remote
+                     else self._EVENT_COUNTER)
+            base = table[event]
             tel.counter(base).add(1)
             tel.counter(f"{base}.{kind}").add(1)
-
-    @staticmethod
-    def _touch(path: str) -> None:
-        try:
-            os.utime(path, None)
-        except OSError:  # pragma: no cover - fs without utime permission
-            pass
-
-    @staticmethod
-    def _remove(path: str) -> None:
-        try:
-            os.remove(path)
-        except OSError:  # pragma: no cover - already gone / racing writer
-            pass

@@ -20,12 +20,23 @@ Commands
               ``--schedule`` benches predictor-guided batch ordering,
               and ``--report`` adds a self-contained HTML run report.
 ``serve``     Run the async BIST evaluation service (HTTP + JSON).
+``cluster``   Shard exact gate-level fault grading across a fleet of
+              ``serve`` endpoints and merge the verdicts, coverage
+              checkpoints and MISR signature back bit-identically;
+              ``--verify`` re-grades single-node and asserts identity.
+``loadtest``  Replay job traffic against a service endpoint; report
+              latency percentiles, throughput and 429 rates, with
+              ``--check`` thresholds for CI.
+``artifacts`` ``serve`` a content-addressed artifact store over HTTP
+              so a worker fleet shares one cache
+              (``--cache-dir http://host:port`` on the workers).
 ``report``    Markdown paper report, or ``--trace`` for an HTML run
               report rendered from a JSONL telemetry trace.
 ``runs``      Query the append-only run ledger: ``list``, ``show``,
               ``compare``, ``trend`` (history-aware regression gate),
-              ``validate``, and ``watch`` (live progress of a service
-              job over the SSE stream).
+              ``validate`` (ledger integrity, or ``--schema FILE...``
+              for report files), and ``watch`` (live progress of a
+              service job over the SSE stream).
 
 Global flags: ``--version``, ``-v/--verbose`` (repeatable),
 ``--profile`` (log a telemetry summary for any command) and
@@ -378,6 +389,124 @@ def _build_parser() -> argparse.ArgumentParser:
                             "as JSON Lines")
     add_ledger_flags(serve)
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="shard exact gate-level grading across serve endpoints; "
+             "merge verdicts, checkpoints and MISR signature")
+    cluster.add_argument("endpoints", nargs="+", metavar="URL",
+                         help="worker endpoints (repro serve instances)")
+    cluster.add_argument("--design", default="LP", metavar="{LP,BP,HP}")
+    cluster.add_argument("--generator", default="lfsr1",
+                         metavar="{" + ",".join(GENERATOR_CHOICES) + "}")
+    cluster.add_argument("--vectors", type=int, default=512)
+    cluster.add_argument("--width", type=int, default=12)
+    cluster.add_argument("--faults", type=int, default=0,
+                         help="restrict to the first N enumerated faults "
+                              "(0 = the full fault universe)")
+    cluster.add_argument("--shard-faults", type=int, default=4096,
+                         help="max faults per shard; whole cone batches "
+                              "are never split (default 4096)")
+    cluster.add_argument("--schedule", default="cone",
+                         choices=("cone", "predicted", "random"),
+                         help="batch ordering the shards are packed in "
+                              "(default cone)")
+    cluster.add_argument("--schedule-bins", type=int, default=256,
+                         help="amplitude-grid bins for --schedule "
+                              "predicted (default 256)")
+    cluster.add_argument("--schedule-seed", type=int, default=0x5EED,
+                         help="seed of --schedule random")
+    cluster.add_argument("--chunk", type=int, default=0,
+                         help="time-chunk length for detection times "
+                              "(0 = engine default)")
+    cluster.add_argument("--misr-width", type=int, default=16,
+                         help="MISR signature compaction width "
+                              "(default 16)")
+    cluster.add_argument("--shard-timeout", type=float, default=600.0,
+                         help="seconds before one shard attempt is "
+                              "abandoned and re-dispatched (default 600)")
+    cluster.add_argument("--max-retries", type=int, default=4,
+                         help="attempts per shard before the sweep fails "
+                              "(default 4)")
+    cluster.add_argument("--straggler-factor", type=float, default=3.0,
+                         help="speculate a shard once it runs this "
+                              "multiple of the median shard time "
+                              "(default 3.0)")
+    cluster.add_argument("--straggler-min", type=float, default=60.0,
+                         help="floor on the straggler deadline in "
+                              "seconds (default 60)")
+    cluster.add_argument("--poll", type=float, default=2.0,
+                         help="long-poll interval against workers "
+                              "(default 2s)")
+    cluster.add_argument("--verify", action="store_true",
+                         help="also grade single-node locally and fail "
+                              "unless verdicts, checkpoints and MISR "
+                              "signature are bit-identical")
+    cluster.add_argument("--out", default=None, metavar="PATH",
+                         help="write the cluster report as JSON")
+    cluster.add_argument("--cache-dir", default=None, metavar="PATH",
+                         help="artifact cache directory or "
+                              "http:// artifact-server URL used by the "
+                              "local (planning/verify) side")
+    cluster.add_argument("--no-cache", action="store_true",
+                         help="disable the local artifact cache")
+    add_ledger_flags(cluster)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="replay job traffic against a service endpoint; report "
+             "latency percentiles, throughput and 429 rates")
+    loadtest.add_argument("--url", default="http://127.0.0.1:8337",
+                          help="service base URL "
+                               "(default http://127.0.0.1:8337)")
+    loadtest.add_argument("--concurrency", type=int, default=4,
+                          help="closed-loop client threads (default 4)")
+    loadtest.add_argument("--duration", type=float, default=10.0,
+                          help="wall-clock seconds to drive traffic "
+                               "(default 10)")
+    loadtest.add_argument("--kinds", default=None,
+                          help="comma-separated job kinds to replay "
+                               "(default: the full built-in mix)")
+    loadtest.add_argument("--seed", type=int, default=0,
+                          help="seed of the per-client size perturbation")
+    loadtest.add_argument("--job-timeout", type=float, default=60.0,
+                          help="per-job turnaround deadline (default 60s)")
+    loadtest.add_argument("--check", action="store_true",
+                          help="exit nonzero when a threshold below is "
+                               "violated (or nothing completed)")
+    loadtest.add_argument("--max-p99", type=float, default=None,
+                          help="--check: max p99 turnaround seconds")
+    loadtest.add_argument("--min-throughput", type=float, default=None,
+                          help="--check: min completed jobs per second")
+    loadtest.add_argument("--max-busy-rate", type=float, default=None,
+                          help="--check: max fraction of 429-rejected "
+                               "requests")
+    loadtest.add_argument("--max-error-rate", type=float, default=None,
+                          help="--check: max fraction of failed requests")
+    loadtest.add_argument("--min-completed", type=int, default=1,
+                          help="--check: min completed jobs (default 1)")
+    loadtest.add_argument("--out", default=None, metavar="PATH",
+                          help="write the loadtest report as JSON")
+    add_ledger_flags(loadtest)
+
+    artifacts = sub.add_parser(
+        "artifacts",
+        help="content-addressed artifact store over HTTP")
+    art_sub = artifacts.add_subparsers(dest="artifacts_command",
+                                       required=True)
+    a_serve = art_sub.add_parser(
+        "serve",
+        help="serve an artifact cache directory to a worker fleet")
+    a_serve.add_argument("--root", default=None, metavar="PATH",
+                         help="store directory (default: $REPRO_CACHE_DIR "
+                              "or ~/.cache/repro)")
+    a_serve.add_argument("--host", default="127.0.0.1")
+    a_serve.add_argument("--port", type=int, default=8338,
+                         help="listen port (0 = pick an ephemeral port; "
+                              "default 8338)")
+    a_serve.add_argument("--max-bytes", type=int, default=0,
+                         help="server-side LRU size budget in bytes "
+                              "(0 = unbounded)")
+
     runs = sub.add_parser(
         "runs",
         help="query the run ledger; watch live service jobs")
@@ -423,9 +552,15 @@ def _build_parser() -> argparse.ArgumentParser:
     r_trend.add_argument("--check", action="store_true",
                          help="exit nonzero on regression")
 
-    runs_sub.add_parser(
+    r_val = runs_sub.add_parser(
         "validate",
-        help="schema-check and re-address every ledger record")
+        help="schema-check and re-address every ledger record, or "
+             "validate report files (--schema)")
+    r_val.add_argument("--schema", nargs="+", default=None,
+                       metavar="FILE",
+                       help="instead of the ledger, validate these JSON "
+                            "report files against their embedded schema "
+                            "tags (bench/cluster/loadtest reports)")
 
     r_watch = runs_sub.add_parser(
         "watch", help="render a service job's live progress")
@@ -1368,6 +1503,12 @@ def _cmd_runs_trend(args) -> int:
 
 
 def _cmd_runs_validate(args) -> int:
+    if args.schema:
+        from .reports import validate_report_files
+
+        for line in validate_report_files(args.schema):
+            print(line)
+        return 0
     ledger = _runs_ledger(args)
     records = ledger.records(validate=True)  # raises on any bad line
     kinds: dict = {}
@@ -1488,6 +1629,151 @@ def _cmd_runs(args) -> int:
     return handler(args)
 
 
+def _cmd_cluster(args) -> int:
+    import json
+    import time
+
+    from .cluster import run_cluster_sweep
+
+    cache = _make_cache(args)
+    report = run_cluster_sweep(
+        args.endpoints,
+        design=args.design, generator=args.generator,
+        vectors=args.vectors, width=args.width,
+        faults_limit=args.faults, shard_faults=args.shard_faults,
+        schedule=args.schedule, schedule_bins=args.schedule_bins,
+        schedule_seed=args.schedule_seed, chunk=args.chunk,
+        misr_width=args.misr_width, shard_timeout=args.shard_timeout,
+        max_retries=args.max_retries,
+        straggler_factor=args.straggler_factor,
+        straggler_min=args.straggler_min, poll=args.poll,
+        verify=args.verify, cache=cache)
+    doc = report.to_doc()
+    merged = report.merged
+    print(f"cluster sweep: {doc['params']['design']} x "
+          f"{doc['params']['generator']}  {doc['params']['vectors']} "
+          f"vectors  {merged.total} faults")
+    print(f"  coverage {100.0 * merged.coverage:6.2f}%  "
+          f"({merged.total - merged.detected} missed)  "
+          f"signature {doc['signature']}")
+    print(f"  {doc['shards']} shard(s), {doc['attempts']} attempt(s), "
+          f"{doc['retries']} retried, {doc['speculated']} speculated, "
+          f"{doc['duplicates']} duplicate result(s)  "
+          f"in {doc['elapsed_seconds']:.2f}s")
+    for worker in doc["workers"]:
+        print(f"  worker {worker['endpoint']}: {worker['shards']} "
+              f"shard(s), {worker['faults']} faults, "
+              f"{worker['busy_seconds']:.2f}s busy, "
+              f"{worker['failures']} failure(s)")
+    if report.verified is not None:
+        print(f"  single-node verify: "
+              f"{'identical' if report.verified else 'DIVERGED'}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"wrote cluster report to {args.out}")
+    _ledger_append(args, build_record(
+        "cluster-sweep",
+        config=dict(doc["params"], endpoints=sorted(set(args.endpoints)),
+                    shard_faults=args.shard_faults,
+                    schedule=args.schedule),
+        created_unix=time.time(),
+        metrics=summarize_telemetry() or None,
+        git_sha=current_git_sha(),
+        duration_seconds=report.elapsed_seconds,
+        coverage_curve=[(t, c) for t, c in merged.checkpoints],
+        extra={"coverage": float(merged.coverage),
+               "missed": merged.total - merged.detected,
+               "signature": doc["signature"],
+               "shards": doc["shards"],
+               "attempts": doc["attempts"],
+               "retries": doc["retries"],
+               "speculated": doc["speculated"],
+               "workers": doc["workers"],
+               "shard_timings": doc["shard_timings"]}))
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    import json
+    import time
+
+    from .cluster.loadtest import run_loadtest
+
+    kinds = tuple(k.strip() for k in args.kinds.split(",")
+                  if k.strip()) if args.kinds else ()
+    report = run_loadtest(
+        args.url, concurrency=args.concurrency, duration=args.duration,
+        kinds=kinds, seed=args.seed, job_timeout=args.job_timeout)
+    doc = report.to_doc()
+    lat = doc["latency_seconds"]
+    print(f"loadtest {args.url}: {doc['concurrency']} client(s) for "
+          f"{report.elapsed_seconds:.1f}s")
+    print(f"  {doc['requests']} requests: {doc['completed']} completed, "
+          f"{doc['busy']} busy (429/503), {doc['errors']} errors")
+    print(f"  throughput {doc['throughput_jobs_per_second']:.2f} jobs/s  "
+          f"busy rate {100.0 * doc['busy_rate']:.1f}%")
+    print(f"  turnaround p50 {lat['p50']:.3f}s  p90 {lat['p90']:.3f}s  "
+          f"p99 {lat['p99']:.3f}s  max {lat['max']:.3f}s")
+    for kind, entry in doc["by_kind"].items():
+        klat = entry["latency_seconds"]
+        print(f"  {kind:12s} {entry['requests']:5d} requests  "
+              f"p50 {klat['p50']:.3f}s  p99 {klat['p99']:.3f}s  "
+              f"{entry['busy']} busy  {entry['errors']} errors")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"wrote loadtest report to {args.out}")
+    _ledger_append(args, build_record(
+        "loadtest",
+        config={"url": args.url, "concurrency": args.concurrency,
+                "duration": args.duration, "kinds": sorted(kinds),
+                "seed": args.seed},
+        created_unix=time.time(),
+        git_sha=current_git_sha(),
+        duration_seconds=report.elapsed_seconds,
+        extra={"requests": doc["requests"],
+               "completed": doc["completed"],
+               "busy": doc["busy"], "errors": doc["errors"],
+               "busy_rate": doc["busy_rate"],
+               "throughput_jobs_per_second":
+                   doc["throughput_jobs_per_second"],
+               "latency_seconds": lat}))
+    if args.check:
+        failures = report.check(
+            max_p99=args.max_p99, min_throughput=args.min_throughput,
+            max_busy_rate=args.max_busy_rate,
+            max_error_rate=args.max_error_rate,
+            min_completed=args.min_completed)
+        for failure in failures:
+            print(f"loadtest check FAILED: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("loadtest check ok")
+    return 0
+
+
+def _cmd_artifacts(args) -> int:
+    from .cache.server import ArtifactServer
+    from .cache.store import default_cache_dir
+
+    root = args.root if args.root else default_cache_dir()
+    server = ArtifactServer(root, host=args.host, port=args.port,
+                            max_bytes=args.max_bytes or None)
+    budget = (f"{args.max_bytes:,} bytes LRU budget" if args.max_bytes
+              else "unbounded")
+    print(f"serving artifact store {root} on {server.url} ({budget})")
+    print("point workers at it with: "
+          f"repro serve --cache-dir {server.url}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
 def _dispatch(args, tel: Optional[Telemetry]) -> int:
     if args.command == "sweep":
         return _cmd_sweep(args)
@@ -1495,6 +1781,12 @@ def _dispatch(args, tel: Optional[Telemetry]) -> int:
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
+    if args.command == "artifacts":
+        return _cmd_artifacts(args)
     if args.command == "runs":
         return _cmd_runs(args)
     if args.command == "recommend":

@@ -1,0 +1,277 @@
+"""Shard planning, worker-side grading and deterministic merging.
+
+A *shard* is a run of whole cone batches
+(:func:`repro.gates.faults.schedule_fault_batches`, or any PR 7
+scheduler with the same contract) carrying the **global** fault indices
+it covers.  Keeping batches intact preserves the schedule's cone
+locality inside each worker, and carrying global indices makes the
+merge trivial and order-free: verdicts and detection times scatter back
+by index, the MISR signature merges by XOR of per-shard partials
+(:mod:`repro.cluster.signature`), and coverage checkpoints are a pure
+function of the merged detection times.  The whole pipeline is
+bit-identical to a single-node :func:`gate_level_missed` run for *any*
+partition, permutation or duplicated re-dispatch — the property the
+merge-determinism suite asserts and the CI cluster-smoke job re-proves
+against live workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ClusterError
+from ..gates.fault_parallel import DEFAULT_WORDS, gate_level_missed
+from ..gates.faults import EnumeratedFault, schedule_fault_batches
+from .signature import (
+    combine_partials,
+    shard_signature_partial,
+    stream_signature,
+)
+
+__all__ = [
+    "DEFAULT_MISR_WIDTH",
+    "DEFAULT_SHARD_FAULTS",
+    "MergedGrade",
+    "Shard",
+    "coverage_checkpoints",
+    "grade_shard",
+    "merge_shard_results",
+    "plan_shards",
+    "single_node_grade",
+]
+
+#: Compaction width of the per-run signature (wide enough that the CI
+#: identity assertion is meaningful, narrow enough to read in a log).
+DEFAULT_MISR_WIDTH = 16
+
+#: Default shard granularity: big enough to amortize a worker's netlist
+#: elaboration, small enough that a fleet of two already overlaps.
+DEFAULT_SHARD_FAULTS = 4096
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One dispatchable unit: whole cone batches, global indices."""
+
+    shard_id: int
+    indices: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+def plan_shards(
+    faults: Sequence[EnumeratedFault],
+    *,
+    max_faults: int = DEFAULT_SHARD_FAULTS,
+    batch_size: int = 64 * DEFAULT_WORDS,
+    scheduler: Optional[Callable[[Sequence[EnumeratedFault], int],
+                                 List[List[int]]]] = None,
+) -> List[Shard]:
+    """Pack the scheduled cone batches into shards of ``<= max_faults``.
+
+    Batches are never split (cone locality survives dispatch) and are
+    packed in schedule order, so a predictor-guided ordering
+    (:func:`repro.schedule.make_scheduler`) shapes which faults land in
+    the early shards exactly as it shapes single-node batch order.
+    """
+    if max_faults <= 0:
+        raise ClusterError(f"max_faults must be positive, got {max_faults}")
+    plan = (schedule_fault_batches if scheduler is None else scheduler)
+    shards: List[Shard] = []
+    current: List[int] = []
+    for batch in plan(faults, batch_size):
+        if current and len(current) + len(batch) > max_faults:
+            shards.append(Shard(len(shards), tuple(current)))
+            current = []
+        current.extend(int(i) for i in batch)
+    if current:
+        shards.append(Shard(len(shards), tuple(current)))
+    return shards
+
+
+def grade_shard(
+    nl,
+    input_raw,
+    faults: Sequence[EnumeratedFault],
+    indices: Sequence[int],
+    total: int,
+    *,
+    misr_width: int = DEFAULT_MISR_WIDTH,
+    misr_poly: int = 0,
+    cache=None,
+    chunk: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Grade one shard — the worker side of the ``grade-shard`` job.
+
+    Runs the exact engine over the shard's subset (its own iterative
+    deepening, dropping and cone batching; verdicts and chunk-end
+    detection times are subset-invariant) and compacts the shard into a
+    JSON-able result: per-index verdicts, detection times and the MISR
+    signature *partial* for the shard's global stream positions.
+    """
+    indices = [int(i) for i in indices]
+    for i in indices:
+        if not 0 <= i < len(faults):
+            raise ClusterError(
+                f"fault index {i} out of range [0, {len(faults)})")
+        if i >= total:
+            raise ClusterError(
+                f"fault index {i} >= signature stream length {total}")
+    subset = [faults[i] for i in indices]
+    detect = np.full(len(subset), -1, dtype=np.int64)
+    gate_level_missed(nl, input_raw, subset, cache=cache, chunk=chunk,
+                      detect_times=detect)
+    detected = (detect >= 0).astype(np.int64)
+    partial = shard_signature_partial(
+        misr_width, indices, [int(t) for t in detect], total,
+        poly=misr_poly)
+    return {
+        "indices": indices,
+        "detected": [int(v) for v in detected],
+        "detect_times": [int(t) for t in detect],
+        "signature_partial": int(partial),
+        "faults": len(indices),
+    }
+
+
+def coverage_checkpoints(detect_times: np.ndarray, total: int,
+                         test_length: int) -> List[Tuple[int, float]]:
+    """Coverage over test length at every observed detection time.
+
+    Checkpoints are the sorted distinct chunk-end detection times plus
+    the full test length; each carries the fraction of the universe
+    detected by that vector.  Purely a function of the merged detection
+    times, hence identical for any shard partition.
+    """
+    times = np.asarray(detect_times, dtype=np.int64)
+    points = sorted({int(t) for t in times[times >= 0]} | {int(test_length)})
+    return [(t, float(np.count_nonzero((times >= 0) & (times <= t)))
+             / max(1, total)) for t in points]
+
+
+@dataclass
+class MergedGrade:
+    """A full-universe grading result, from one node or many."""
+
+    verdicts: np.ndarray
+    detect_times: np.ndarray
+    signature: int
+    checkpoints: List[Tuple[int, float]]
+    test_length: int
+
+    @property
+    def total(self) -> int:
+        return int(self.verdicts.size)
+
+    @property
+    def detected(self) -> int:
+        return int(self.verdicts.sum())
+
+    @property
+    def coverage(self) -> float:
+        return self.detected / max(1, self.total)
+
+    @property
+    def missed_indices(self) -> List[int]:
+        return [int(i) for i in np.flatnonzero(~self.verdicts)]
+
+    def identical_to(self, other: "MergedGrade") -> bool:
+        return (bool(np.array_equal(self.verdicts, other.verdicts))
+                and bool(np.array_equal(self.detect_times,
+                                        other.detect_times))
+                and self.signature == other.signature
+                and self.checkpoints == other.checkpoints)
+
+
+def merge_shard_results(
+    total: int,
+    results: Sequence[Dict[str, Any]],
+    *,
+    test_length: int,
+    misr_width: int = DEFAULT_MISR_WIDTH,
+) -> MergedGrade:
+    """Fold per-shard results into one :class:`MergedGrade`.
+
+    Duplicate deliveries of the same shard (straggler re-dispatch) are
+    deduplicated by shard id — and cross-checked: a duplicate that
+    *disagrees* with the first delivery means a worker graded wrong, so
+    the merge refuses rather than silently picking one.  The merge also
+    refuses on overlap or gaps: every fault index must be covered by
+    exactly one surviving shard.
+    """
+    verdicts = np.zeros(total, dtype=bool)
+    detect_times = np.full(total, -1, dtype=np.int64)
+    seen: Dict[Any, Dict[str, Any]] = {}
+    covered = np.zeros(total, dtype=bool)
+    partials: List[int] = []
+    for res in results:
+        sid = res.get("shard")
+        if sid is None:
+            raise ClusterError("shard result is missing its shard id")
+        first = seen.get(sid)
+        if first is not None:
+            for field in ("indices", "detected", "detect_times",
+                          "signature_partial"):
+                if first.get(field) != res.get(field):
+                    raise ClusterError(
+                        f"duplicate deliveries of shard {sid} disagree "
+                        f"on {field!r}")
+            continue
+        seen[sid] = res
+        idx = np.asarray(res["indices"], dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= total):
+            raise ClusterError(
+                f"shard {sid} carries out-of-range fault indices")
+        if covered[idx].any():
+            raise ClusterError(
+                f"shard {sid} overlaps an already-merged shard")
+        covered[idx] = True
+        verdicts[idx] = np.asarray(res["detected"], dtype=np.int64) > 0
+        detect_times[idx] = np.asarray(res["detect_times"], dtype=np.int64)
+        partials.append(int(res["signature_partial"]))
+    if not covered.all():
+        missing = int(total - covered.sum())
+        raise ClusterError(
+            f"incomplete merge: {missing} of {total} faults uncovered")
+    return MergedGrade(
+        verdicts=verdicts,
+        detect_times=detect_times,
+        signature=combine_partials(partials),
+        checkpoints=coverage_checkpoints(detect_times, total, test_length),
+        test_length=test_length,
+    )
+
+
+def single_node_grade(
+    nl,
+    input_raw,
+    faults: Sequence[EnumeratedFault],
+    *,
+    misr_width: int = DEFAULT_MISR_WIDTH,
+    misr_poly: int = 0,
+    cache=None,
+    chunk: Optional[int] = None,
+) -> MergedGrade:
+    """The single-node oracle the fleet must reproduce bit for bit.
+
+    One :func:`gate_level_missed` pass over the whole universe; the
+    signature clocks a *real* MISR over the canonical detection-time
+    stream (not the partial algebra), so fleet-vs-oracle comparisons
+    exercise both sides of the signature identity.
+    """
+    detect = np.full(len(faults), -1, dtype=np.int64)
+    gate_level_missed(nl, input_raw, faults, cache=cache, chunk=chunk,
+                      detect_times=detect)
+    test_length = int(len(input_raw))
+    return MergedGrade(
+        verdicts=detect >= 0,
+        detect_times=detect,
+        signature=stream_signature(misr_width, [int(t) for t in detect],
+                                   poly=misr_poly),
+        checkpoints=coverage_checkpoints(detect, len(faults), test_length),
+        test_length=test_length,
+    )

@@ -57,6 +57,11 @@ class LedgerError(ReproError):
     """Malformed run-ledger record, unknown run id, or trend-gate failure."""
 
 
+class ClusterError(ReproError):
+    """Sharded-fleet failure: exhausted retries, incomplete or
+    inconsistent shard merge, or no reachable workers."""
+
+
 class ServiceError(ReproError):
     """Evaluation-service failure (invalid request, overload, shutdown).
 

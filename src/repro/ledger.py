@@ -62,7 +62,7 @@ LEDGER_FILE = "ledger.jsonl"
 
 #: Run kinds the registry recognizes.
 RUN_KINDS = ("sweep", "bench-parallel", "bench-gates", "bench-schedule",
-             "profile", "service-job")
+             "profile", "service-job", "cluster-sweep", "loadtest")
 
 _REQUIRED_FIELDS = ("schema", "id", "kind", "created_unix", "config",
                     "config_fingerprint")

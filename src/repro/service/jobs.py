@@ -40,9 +40,12 @@ __all__ = ["Job", "JobState", "JobStore", "JOB_KINDS", "BATCHABLE_KINDS",
 #: ``gate-grade`` is the exact gate-level grader, the long-running kind
 #: whose per-batch progress shows up live on the job document;
 #: ``recommend`` answers "best generator for this design" from the
-#: analytic predictor, gate-grading only the top-k candidates).
+#: analytic predictor, gate-grading only the top-k candidates;
+#: ``grade-shard`` is one cluster shard of exact gate-level grading —
+#: explicit global fault indices in, per-index verdicts + detection
+#: times + a MISR signature partial out (see :mod:`repro.cluster`).
 JOB_KINDS = ("rank", "grade", "spectrum", "serious-fault", "gate-grade",
-             "recommend")
+             "recommend", "grade-shard")
 
 #: Kinds whose requests are small enough that the worker pool batches
 #: several queued ones into a single executor pass.
@@ -61,6 +64,12 @@ MAX_POINTS = 1 << 14
 #: requests bounded so one job cannot monopolize an executor thread.
 MAX_GATE_VECTORS = 1 << 12
 MAX_GATE_FAULTS = 1 << 14
+#: Largest fault universe a shard's global indices may address (the
+#: MISR stream length); comfortably above every Table 1 design.
+MAX_SHARD_TOTAL = 1 << 20
+#: MISR compaction widths the shard signature partial supports.
+MIN_MISR_WIDTH = 4
+MAX_MISR_WIDTH = 24
 
 
 class JobState(str, Enum):
@@ -89,6 +98,49 @@ def _int_param(params: Dict[str, Any], name: str, default: int,
         raise ServiceError(f"parameter {name!r} must be in [{lo}, {hi}], "
                            f"got {value}", status=400)
     return value
+
+
+def _index_list(params: Dict[str, Any], name: str,
+                total: int) -> List[int]:
+    """A non-empty list of distinct global fault indices ``< total``."""
+    raw = params.pop(name, None)
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise ServiceError(f"parameter {name!r} must be a non-empty "
+                           f"list of fault indices", status=400)
+    if len(raw) > MAX_GATE_FAULTS:
+        raise ServiceError(f"parameter {name!r} holds {len(raw)} indices; "
+                           f"at most {MAX_GATE_FAULTS} per shard",
+                           status=400)
+    out: List[int] = []
+    for item in raw:
+        try:
+            value = int(item)
+        except (TypeError, ValueError):
+            raise ServiceError(f"parameter {name!r} must hold integers, "
+                               f"got {item!r}", status=400) from None
+        if not 0 <= value < total:
+            raise ServiceError(f"fault index {value} out of range "
+                               f"[0, {total})", status=400)
+        out.append(value)
+    if len(set(out)) != len(out):
+        raise ServiceError(f"parameter {name!r} holds duplicate indices",
+                           status=400)
+    return out
+
+
+def _trace_param(params: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """An optional ``{"trace_id": ..., "span_id": ...}`` dict naming
+    where the shard's spans hang in the *coordinator's* trace."""
+    raw = params.pop("trace", None)
+    if raw is None:
+        return None
+    if (not isinstance(raw, dict)
+            or not isinstance(raw.get("trace_id"), str)
+            or not isinstance(raw.get("span_id"), (str, type(None)))):
+        raise ServiceError("parameter 'trace' must be a dict with a "
+                           "trace_id string and an optional span_id",
+                           status=400)
+    return {"trace_id": raw["trace_id"], "span_id": raw.get("span_id")}
 
 
 def canonical_params(kind: str, params: Optional[Dict[str, Any]]
@@ -128,6 +180,22 @@ def canonical_params(kind: str, params: Optional[Dict[str, Any]]
         # 0 means "the whole enumerated universe" (still capped at
         # execution time by the netlist's own fault count).
         out["faults"] = _int_param(params, "faults", 256, 0, MAX_GATE_FAULTS)
+    elif kind == "grade-shard":
+        out["design"] = resolve_design(params.pop("design", "LP"))
+        out["generator"] = resolve_generator(params.pop("generator",
+                                                        "lfsr1"))
+        out["vectors"] = _int_param(params, "vectors", 256, 1,
+                                    MAX_GATE_VECTORS)
+        out["width"] = _int_param(params, "width", 12, MIN_WIDTH, MAX_WIDTH)
+        out["total"] = _int_param(params, "total", 0, 1, MAX_SHARD_TOTAL)
+        out["misr_width"] = _int_param(params, "misr_width", 16,
+                                       MIN_MISR_WIDTH, MAX_MISR_WIDTH)
+        # 0 = the engine's default time-chunk length.
+        out["chunk"] = _int_param(params, "chunk", 0, 0, MAX_VECTORS)
+        out["indices"] = _index_list(params, "indices", out["total"])
+        trace = _trace_param(params)
+        if trace is not None:
+            out["trace"] = trace
     elif kind == "recommend":
         out["design"] = resolve_design(params.pop("design", "LP"))
         out["vectors"] = _int_param(params, "vectors", 4096, 2, MAX_VECTORS)
@@ -260,13 +328,17 @@ class JobStore:
             if existing_id is not None and existing_id in self._jobs:
                 return self._jobs[existing_id], False
         canon = canonical_params(kind, params)
+        # The coordinator's trace pointer names *where spans hang*, not
+        # *what is computed* — exclude it from the coalescing identity
+        # so identical shards from different runs share one future.
+        keyed = {k: v for k, v in canon.items() if k != "trace"}
         job = Job(
             id=f"j-{self._prefix}-{next(self._seq):06d}",
             kind=kind,
             params=canon,
             client=client,
             priority=PRIORITIES[priority],
-            cache_key=stable_hash({"kind": kind, "params": canon}),
+            cache_key=stable_hash({"kind": kind, "params": keyed}),
             idempotency_key=idempotency_key,
             created=self.clock(),
         )

@@ -137,6 +137,57 @@ def execute_job(ctx, kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
             "missed": len(missed),
             "coverage": detected / max(1, len(faults)),
         }
+    if kind == "grade-shard":
+        from ..cluster.shards import grade_shard
+        from ..gates import elaborate, enumerate_cell_faults
+        from ..generators.base import match_width
+        from ..telemetry import child_collector
+
+        design = ctx.designs[params["design"]]
+        nl = elaborate(design.graph)
+        faults = enumerate_cell_faults(design.graph, nl)
+        for i in params["indices"]:
+            if i >= len(faults):
+                raise ServiceError(
+                    f"fault index {i} out of range for design "
+                    f"{params['design']} ({len(faults)} faults)",
+                    status=400)
+        gen = make_generator(params["generator"], params["width"],
+                             params["vectors"])
+        raw = match_width(gen.sequence(params["vectors"]), gen.width,
+                          design.input_fmt.width)
+        trace = params.get("trace")
+        ctx_trace = (TraceContext(trace["trace_id"], trace.get("span_id"))
+                     if trace else None)
+        # The shard runs under a *nested* child collector joined to the
+        # coordinator's trace; its payload rides home inside the result
+        # so a multi-node sweep grafts into one span tree.  Progress is
+        # forwarded to the service collector so the job document (which
+        # the coordinator polls) still updates live.
+        outer = get_telemetry()
+
+        def _forward(state) -> None:
+            if outer.enabled:
+                outer.progress(state.name, state.done, state.total,
+                               **state.fields)
+
+        with child_collector(ctx_trace, on_progress=_forward) as handle:
+            doc = grade_shard(nl, raw, faults, params["indices"],
+                              params["total"],
+                              misr_width=params["misr_width"],
+                              cache=ctx.cache,
+                              chunk=params["chunk"] or None)
+        doc.update({
+            "design": params["design"],
+            "generator": params["generator"],
+            "vectors": params["vectors"],
+            "width": params["width"],
+            "total": params["total"],
+            "misr_width": params["misr_width"],
+        })
+        if handle.payload is not None:
+            doc["trace"] = handle.payload
+        return doc
     if kind == "recommend":
         from ..schedule import recommend_generator
 

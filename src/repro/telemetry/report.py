@@ -182,16 +182,40 @@ def _rate_row(label: str, hits: float, misses: float) -> str:
             f"<td class='num'>{rate}</td></tr>")
 
 
+def _cache_pair(hit_name: str) -> Optional[Tuple[str, str]]:
+    """``(miss_counter, row_label)`` for a hit counter, matching either
+    convention: ``<x>.hits``/``<x>.misses`` or the cache store's
+    ``cache.hit[.kind]``/``cache.miss[.kind]`` and
+    ``cache.remote_hit[.kind]``/``cache.remote_miss[.kind]``."""
+    if hit_name.endswith(".hits"):
+        stem = hit_name[: -len(".hits")]
+        return stem + ".misses", stem
+    for prefix, label in (("cache.remote_hit", "cache.remote"),
+                          ("cache.hit", "cache")):
+        if hit_name == prefix or hit_name.startswith(prefix + "."):
+            suffix = hit_name[len(prefix):]
+            return prefix.replace("hit", "miss") + suffix, label + suffix
+    return None
+
+
 def _cache_section(metrics: Dict[str, Dict[str, object]]) -> List[str]:
     pairs: List[Tuple[str, float, float]] = []
     for name, e in sorted(metrics.items()):
-        if e["type"] != "counter" or not name.endswith(".hits"):
+        if e["type"] != "counter":
             continue
-        miss = metrics.get(name[: -len(".hits")] + ".misses")
-        if miss is not None and miss["type"] == "counter":
-            pairs.append((name[: -len(".hits")],
-                          float(e["value"]),      # type: ignore[arg-type]
-                          float(miss["value"])))  # type: ignore[arg-type]
+        pair = _cache_pair(name)
+        if pair is None:
+            continue
+        miss_name, label = pair
+        miss = metrics.get(miss_name)
+        # A fully-warm cache never instantiates its miss counter; that
+        # is 0 misses, not "no cache activity".
+        misses = (float(miss["value"])  # type: ignore[arg-type]
+                  if miss is not None and miss["type"] == "counter"
+                  else 0.0)
+        pairs.append((label,
+                      float(e["value"]),  # type: ignore[arg-type]
+                      misses))
     if not pairs:
         return []
     out = ["<h2>Cache hit rates</h2>",

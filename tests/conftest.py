@@ -19,7 +19,10 @@ from helpers import build_small_design
 #: equivalence sweeps, full service round-trips); CI runs them in a
 #: separate ``-m slow`` lane so the unit lane stays fast.
 _SLOW_MODULES = {
+    "test_cluster_coordinator",
+    "test_cluster_merge",
     "test_gates_equivalence",
+    "test_loadtest",
     "test_service_e2e",
     "test_service_events",
     "test_service_http",

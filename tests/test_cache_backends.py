@@ -1,0 +1,188 @@
+"""Pluggable cache backends: local store, HTTP store + artifact server.
+
+The remote path is exercised against a real in-process
+:class:`~repro.cache.server.ArtifactServer`, including the failure
+contract — a dead or corrupted server must only ever cost a
+recomputation (miss + ``cache.remote_error``), never an exception.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    ArtifactCache,
+    ArtifactServer,
+    HttpStore,
+    LocalStore,
+    safe_component,
+)
+from repro.errors import CacheError
+from repro.telemetry import Telemetry, set_telemetry
+
+
+@pytest.fixture()
+def tel():
+    """A fresh enabled collector installed for the test's duration."""
+    collector = Telemetry()
+    previous = set_telemetry(collector)
+    try:
+        yield collector
+    finally:
+        set_telemetry(previous)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    with ArtifactServer(str(tmp_path / "served")) as srv:
+        yield srv
+
+
+def _counter(tel, name):
+    return tel.counter(name).value
+
+
+class TestSafeComponent:
+    def test_accepts_hashes_and_kinds(self):
+        assert safe_component("universe") == "universe"
+        assert safe_component("a1-b2.c_3") == "a1-b2.c_3"
+
+    @pytest.mark.parametrize("bad", ["", ".", "..", "a/b", "a\\b",
+                                     "k\x00ey", "sp ace"])
+    def test_rejects_traversal(self, bad):
+        with pytest.raises(CacheError):
+            safe_component(bad)
+
+
+class TestLocalStore:
+    def test_roundtrip_and_entries(self, tmp_path):
+        store = LocalStore(str(tmp_path))
+        assert store.get("kind", "key1") is None
+        store.put("kind", "key1", b"abc")
+        store.put("kind", "key2", b"defgh")
+        assert store.get("kind", "key1") == b"abc"
+        entries = store.entries()
+        assert len(entries) == 2
+        assert sum(size for _p, _m, size in entries) == 8
+        store.delete("kind", "key1")
+        assert store.get("kind", "key1") is None
+        assert len(store.entries()) == 1
+
+    def test_evict_drops_oldest_first(self, tmp_path, tel):
+        store = LocalStore(str(tmp_path))
+        import os
+        import time
+        for i, key in enumerate(["old", "mid", "new"]):
+            store.put("kind", key, b"x" * 10)
+            # mtime granularity on some filesystems is coarse; force
+            # a strict ordering.
+            os.utime(store.path("kind", key), (time.time() + i,) * 2)
+        removed = store.evict(max_bytes=20)
+        assert removed == 1
+        assert store.get("kind", "old") is None
+        assert store.get("kind", "new") == b"x" * 10
+        assert _counter(tel, "cache.evict") == 1
+
+
+class TestArtifactServer:
+    def test_put_get_head_delete(self, server):
+        http_store = HttpStore(server.url)
+        assert http_store.get("netlist", "deadbeef") is None
+        http_store.put("netlist", "deadbeef", b"payload")
+        assert http_store.get("netlist", "deadbeef") == b"payload"
+
+        conn = http.client.HTTPConnection(server.host, server.port)
+        conn.request("HEAD", "/v1/artifacts/netlist/deadbeef")
+        assert conn.getresponse().status == 200
+        conn.close()
+
+        http_store.delete("netlist", "deadbeef")
+        assert http_store.get("netlist", "deadbeef") is None
+
+    def test_healthz_and_metrics(self, server):
+        HttpStore(server.url).put("golden", "cafe", b"12345")
+        conn = http.client.HTTPConnection(server.host, server.port)
+        conn.request("GET", "/healthz")
+        health = json.loads(conn.getresponse().read())
+        assert health["status"] == "ok"
+        assert health["entries"] == 1
+        assert health["bytes"] == 5
+        conn.request("GET", "/metrics")
+        metrics = json.loads(conn.getresponse().read())
+        conn.close()
+        assert metrics["artifacts.store"] == 1
+        assert metrics["artifacts.bytes_in"] == 5
+
+    def test_server_side_lru_eviction(self, tmp_path):
+        with ArtifactServer(str(tmp_path), max_bytes=25) as srv:
+            store = HttpStore(srv.url)
+            for key in ("k1", "k2", "k3"):
+                store.put("kind", key, b"y" * 10)
+            entries = srv.store.entries()
+            assert sum(size for _p, _m, size in entries) <= 25
+
+    def test_unknown_route_404(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port)
+        conn.request("GET", "/v1/nope")
+        assert conn.getresponse().status == 404
+        conn.close()
+
+    def test_rejects_bad_max_bytes(self, tmp_path):
+        with pytest.raises(CacheError):
+            ArtifactServer(str(tmp_path), max_bytes=0)
+
+
+class TestHttpStoreCache:
+    def test_remote_cache_roundtrip_counts(self, server, tel):
+        cache = ArtifactCache(server.url)
+        payload = {"design": "LP", "vectors": 64}
+        assert cache.load("universe", payload) is None
+        assert _counter(tel, "cache.remote_miss") == 1
+        cache.store("universe", payload,
+                    {"times": np.arange(8, dtype=np.int64)},
+                    meta={"note": "remote"})
+        out = cache.load("universe", payload)
+        assert out is not None
+        np.testing.assert_array_equal(out["times"], np.arange(8))
+        assert out["__meta__"] == {"note": "remote"}
+        assert _counter(tel, "cache.remote_hit") == 1
+        assert _counter(tel, "cache.remote_store") == 1
+        assert _counter(tel, "cache.remote_bytes_out") > 0
+        assert _counter(tel, "cache.remote_bytes_in") > 0
+        # Remote stores never evict client-side.
+        assert cache.evict() == 0
+
+    def test_url_root_selects_http_backend(self, server):
+        cache = ArtifactCache(server.url)
+        assert isinstance(cache.backend, HttpStore)
+        assert cache.backend.remote is True
+        assert cache.root == server.url
+        assert cache.entry_path("kind", "abc").startswith(server.url)
+
+    def test_dead_server_degrades_to_miss(self, tel):
+        cache = ArtifactCache("http://127.0.0.1:9")  # discard port
+        payload = {"x": 1}
+        assert cache.load("universe", payload) is None
+        # put() must swallow the failure too.
+        cache.store("universe", payload, {"a": np.zeros(2)})
+        assert _counter(tel, "cache.remote_error") >= 2
+        assert _counter(tel, "cache.remote_miss") == 1
+        assert _counter(tel, "cache.remote_bytes_out") == 0
+
+    def test_corrupted_remote_entry_recovered(self, server, tel):
+        cache = ArtifactCache(server.url)
+        payload = {"design": "LP"}
+        key = cache.key("universe", payload)
+        HttpStore(server.url).put("universe", key, b"not an npz")
+        assert cache.load("universe", payload) is None
+        assert cache.stats.recovered == 1
+        # The broken entry was deleted server-side.
+        assert HttpStore(server.url).get("universe", key) is None
+
+    def test_https_rejected(self):
+        with pytest.raises(CacheError):
+            HttpStore("https://example.invalid:1")

@@ -1,0 +1,204 @@
+"""Shard planning + merge determinism against the single-node oracle.
+
+The property the whole cluster rests on: for ANY partition of the fault
+universe into shards, ANY delivery order, and even duplicated
+deliveries of a shard (straggler re-dispatch), the merged verdicts,
+detection times, coverage checkpoints and MISR signature are
+bit-identical to one single-node :func:`gate_level_missed` pass.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    MergedGrade,
+    grade_shard,
+    merge_shard_results,
+    plan_shards,
+    single_node_grade,
+)
+from repro.cluster.shards import coverage_checkpoints
+from repro.errors import ClusterError
+from repro.gates import elaborate, enumerate_cell_faults
+from repro.generators.base import match_width
+from repro.resolve import make_generator
+
+VECTORS = 96
+FAULTS = 240
+
+
+@pytest.fixture(scope="module")
+def lp_universe(ctx):
+    dsg = ctx.designs["LP"]
+    nl = elaborate(dsg.graph)
+    faults = enumerate_cell_faults(dsg.graph, nl)[:FAULTS]
+    gen = make_generator("lfsr1", 12, VECTORS)
+    raw = match_width(gen.sequence(VECTORS), gen.width,
+                      dsg.input_fmt.width)
+    return nl, raw, faults
+
+
+@pytest.fixture(scope="module")
+def oracle(lp_universe):
+    nl, raw, faults = lp_universe
+    return single_node_grade(nl, raw, faults)
+
+
+def _random_partition(rng, n, parts):
+    indices = list(range(n))
+    rng.shuffle(indices)
+    bounds = sorted(rng.sample(range(1, n), parts - 1))
+    out, lo = [], 0
+    for hi in bounds + [n]:
+        out.append(indices[lo:hi])
+        lo = hi
+    return out
+
+
+class TestMergeDeterminism:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_any_partition_matches_single_node(self, lp_universe, oracle,
+                                               seed):
+        nl, raw, faults = lp_universe
+        rng = random.Random(seed)
+        parts = _random_partition(rng, len(faults), rng.randint(2, 5))
+        results = []
+        for sid, indices in enumerate(parts):
+            res = grade_shard(nl, raw, faults, indices, len(faults))
+            res["shard"] = sid
+            results.append(res)
+        # Deliveries arrive in arbitrary order, one shard twice.
+        rng.shuffle(results)
+        results.append(dict(results[0]))
+        merged = merge_shard_results(len(faults), results,
+                                     test_length=len(raw))
+        assert merged.identical_to(oracle)
+        assert merged.signature == oracle.signature
+        assert merged.checkpoints == oracle.checkpoints
+
+    def test_planned_shards_match_single_node(self, lp_universe, oracle):
+        nl, raw, faults = lp_universe
+        shards = plan_shards(faults, max_faults=96, batch_size=48)
+        assert len(shards) > 1
+        results = []
+        for shard in shards:
+            res = grade_shard(nl, raw, faults, shard.indices, len(faults))
+            res["shard"] = shard.shard_id
+            results.append(res)
+        merged = merge_shard_results(len(faults), results,
+                                     test_length=len(raw))
+        assert merged.identical_to(oracle)
+
+    def test_oracle_properties(self, oracle):
+        assert oracle.total == FAULTS
+        assert 0.0 < oracle.coverage <= 1.0
+        assert oracle.test_length == VECTORS
+        assert oracle.checkpoints[-1][0] == VECTORS
+        assert oracle.checkpoints[-1][1] == pytest.approx(oracle.coverage)
+        assert len(oracle.missed_indices) == oracle.total - oracle.detected
+
+
+class TestPlanShards:
+    def test_covers_universe_without_overlap(self, lp_universe):
+        _nl, _raw, faults = lp_universe
+        shards = plan_shards(faults, max_faults=64)
+        seen = [i for s in shards for i in s.indices]
+        assert sorted(seen) == list(range(len(faults)))
+        assert [s.shard_id for s in shards] == list(range(len(shards)))
+
+    def test_respects_max_faults(self, lp_universe):
+        _nl, _raw, faults = lp_universe
+        # batch_size below max_faults so packing (not splitting) rules.
+        shards = plan_shards(faults, max_faults=100, batch_size=50)
+        assert all(len(s) <= 100 for s in shards)
+
+    def test_invalid_max_faults(self, lp_universe):
+        _nl, _raw, faults = lp_universe
+        with pytest.raises(ClusterError):
+            plan_shards(faults, max_faults=0)
+
+    def test_scheduler_shapes_packing(self, lp_universe):
+        _nl, _raw, faults = lp_universe
+
+        def reversed_scheduler(fs, batch_size):
+            order = list(range(len(fs)))[::-1]
+            return [order[i:i + batch_size]
+                    for i in range(0, len(order), batch_size)]
+
+        shards = plan_shards(faults, max_faults=64,
+                             scheduler=reversed_scheduler)
+        assert shards[0].indices[0] == len(faults) - 1
+        seen = [i for s in shards for i in s.indices]
+        assert sorted(seen) == list(range(len(faults)))
+
+
+class TestMergeRefusals:
+    def _results(self, lp_universe, parts):
+        nl, raw, faults = lp_universe
+        out = []
+        for sid, indices in enumerate(parts):
+            res = grade_shard(nl, raw, faults, indices, len(faults))
+            res["shard"] = sid
+            out.append(res)
+        return out
+
+    def test_gap_refused(self, lp_universe):
+        _nl, raw, faults = lp_universe
+        half = list(range(len(faults) // 2))
+        results = self._results(lp_universe, [half])
+        with pytest.raises(ClusterError, match="incomplete"):
+            merge_shard_results(len(faults), results,
+                                test_length=len(raw))
+
+    def test_overlap_refused(self, lp_universe):
+        _nl, raw, faults = lp_universe
+        n = len(faults)
+        results = self._results(
+            lp_universe, [list(range(n)), list(range(4))])
+        with pytest.raises(ClusterError, match="overlap"):
+            merge_shard_results(n, results, test_length=len(raw))
+
+    def test_missing_shard_id_refused(self, lp_universe):
+        _nl, raw, faults = lp_universe
+        results = self._results(lp_universe,
+                                [list(range(len(faults)))])
+        del results[0]["shard"]
+        with pytest.raises(ClusterError, match="shard id"):
+            merge_shard_results(len(faults), results,
+                                test_length=len(raw))
+
+    def test_disagreeing_duplicate_refused(self, lp_universe):
+        _nl, raw, faults = lp_universe
+        results = self._results(lp_universe,
+                                [list(range(len(faults)))])
+        tampered = dict(results[0])
+        tampered["signature_partial"] = results[0]["signature_partial"] ^ 1
+        with pytest.raises(ClusterError, match="disagree"):
+            merge_shard_results(len(faults), results + [tampered],
+                                test_length=len(raw))
+
+    def test_out_of_range_indices_refused(self, lp_universe):
+        _nl, raw, faults = lp_universe
+        n = len(faults)
+        results = self._results(lp_universe, [list(range(n))])
+        results[0]["indices"][0] = n
+        with pytest.raises(ClusterError, match="out-of-range"):
+            merge_shard_results(n, results, test_length=len(raw))
+
+
+class TestGradeShard:
+    def test_index_validation(self, lp_universe):
+        nl, raw, faults = lp_universe
+        with pytest.raises(ClusterError, match="out of range"):
+            grade_shard(nl, raw, faults, [len(faults)], len(faults))
+        with pytest.raises(ClusterError, match="stream length"):
+            grade_shard(nl, raw, faults, [5], 5)
+
+    def test_checkpoints_pure_function(self):
+        times = np.array([-1, 64, 32, 64, -1], dtype=np.int64)
+        points = coverage_checkpoints(times, 5, 96)
+        assert points == [(32, 0.2), (64, 0.6), (96, 0.6)]
