@@ -16,7 +16,7 @@ Commands
               ``--export-trace`` writes Chrome-trace JSON.
 ``sweep``     Parallel design x generator coverage grid (cache-backed).
 ``bench``     Serial-vs-parallel throughput benchmark -> JSON report;
-              ``--gates`` benches the cone engine, a bare
+              ``--gates`` benches the three gate engine tiers, a bare
               ``--schedule`` benches predictor-guided batch ordering,
               and ``--report`` adds a self-contained HTML run report.
 ``serve``     Run the async BIST evaluation service (HTTP + JSON).
@@ -208,6 +208,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="fan --exact grading across N worker "
                               "processes; their spans merge into the "
                               "profile's trace (default 1 = in-process)")
+    profile.add_argument("--engine", default=None,
+                         metavar="{event,word,reference}",
+                         help="cone evaluator tier for --exact grading "
+                              "(default: the library default; every "
+                              "tier is bit-identical)")
     profile.add_argument("--export-trace", default=None, metavar="PATH",
                          help="also write the session as a Chrome-trace "
                               "JSON file (chrome://tracing, Perfetto)")
@@ -258,9 +263,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "$REPRO_BENCH_NOW, else the wall clock); "
                             "pin it for reproducible report diffs")
     bench.add_argument("--gates", action="store_true",
-                       help="benchmark the cone-restricted gate-level "
-                            "fault simulator against the reference "
-                            "engine instead of the sweep grid")
+                       help="benchmark the gate-level engine tiers "
+                            "(event, word, reference) against each "
+                            "other instead of the sweep grid")
     bench.add_argument("--gates-design", default="LP",
                        metavar="{LP,BP,HP}",
                        help="design graded by --gates (default LP)")
@@ -269,9 +274,12 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--gates-faults", type=int, default=0,
                        help="restrict --gates to the first N faults "
                             "(0 = the full fault universe)")
-    bench.add_argument("--gates-threshold", type=float, default=3.0,
-                       help="minimum optimized/reference speedup for "
-                            "--gates --check (default 3.0)")
+    bench.add_argument("--gates-threshold", type=float, default=6.0,
+                       help="minimum event-engine/reference speedup for "
+                            "--gates --check (default 6.0)")
+    bench.add_argument("--gates-event-threshold", type=float, default=1.2,
+                       help="minimum event-engine/word-engine speedup "
+                            "for --gates --check (default 1.2)")
     bench.add_argument("--gates-out", default="BENCH_gatesim.json",
                        help="report path for --gates "
                             "(default BENCH_gatesim.json)")
@@ -415,6 +423,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               "predicted (default 256)")
     cluster.add_argument("--schedule-seed", type=int, default=0x5EED,
                          help="seed of --schedule random")
+    cluster.add_argument("--engine", default="",
+                         metavar="{event,word,reference}",
+                         help="cone evaluator tier the shard workers "
+                              "run (default: each worker's library "
+                              "default; every tier merges "
+                              "bit-identically)")
     cluster.add_argument("--chunk", type=int, default=0,
                          help="time-chunk length for detection times "
                               "(0 = engine default)")
@@ -595,6 +609,13 @@ def _configure_logging(verbosity: int, force_info: bool = False) -> None:
     logging.getLogger("repro").setLevel(level)
 
 
+def _gate_engine_name(engine) -> str:
+    """Canonical gate-engine name for reports and ledger records."""
+    from .gates import resolve_engine
+
+    return resolve_engine(engine)
+
+
 def _cmd_profile(args, ctx: ExperimentContext, tel: Telemetry) -> int:
     """The ``profile`` command: one instrumented coverage session."""
     name = resolve_design(args.design)
@@ -618,10 +639,11 @@ def _cmd_profile(args, ctx: ExperimentContext, tel: Telemetry) -> int:
                 from .parallel.gatework import gate_level_missed_parallel
 
                 missed = gate_level_missed_parallel(
-                    nl, gen.sequence(args.vectors), faults, jobs=args.jobs)
+                    nl, gen.sequence(args.vectors), faults, jobs=args.jobs,
+                    engine=args.engine)
             else:
                 missed = gate_level_missed(nl, gen.sequence(args.vectors),
-                                           faults)
+                                           faults, engine=args.engine)
 
     print(coverage_summary(result))
     print()
@@ -664,7 +686,8 @@ def _cmd_profile(args, ctx: ExperimentContext, tel: Telemetry) -> int:
         "profile",
         config={"design": name, "generator": gen.name,
                 "vectors": args.vectors, "width": args.width,
-                "beta": args.beta, "exact": args.exact, "jobs": args.jobs},
+                "beta": args.beta, "exact": args.exact, "jobs": args.jobs,
+                "engine": _gate_engine_name(args.engine)},
         created_unix=time.time(),
         metrics=summarize_telemetry(tel) or None,
         coverage_curve=curve,
@@ -791,6 +814,9 @@ def _bench_now(args) -> float:
 
 
 #: Counters the gate-sim benchmark and ``profile --exact`` report.
+#: The last three are event-engine telemetry: frontier rows touched by
+#: sparse sweeps, fault-words proven golden and skipped whole, and
+#: single-fanout levels absorbed into LUT super-gates at fuse time.
 _GATE_COUNTERS = (
     "gates.fault_batches",
     "gates.faults_graded",
@@ -798,23 +824,30 @@ _GATE_COUNTERS = (
     "gates.chunks_skipped",
     "gates.faults_dropped",
     "gates.lane_vectors",
+    "gates.frontier_nets",
+    "gates.words_skipped",
+    "gates.lut_fused_levels",
 )
 
 
 def _cmd_bench_gates(args) -> int:
-    """``bench --gates``: cone engine vs reference engine, one design.
+    """``bench --gates``: the three engine tiers on one fault universe.
 
-    Grades the same fault universe with the optimized cone-restricted
-    engine and the retained pre-optimization reference, asserts the
-    missed-fault lists are identical, and records the speedup in a
-    ``repro-bench-gatesim/1`` report; ``--check`` gates on
-    ``--gates-threshold``.
+    Grades the same universe with the event-driven engine, the
+    word-widened engine and the retained pre-optimization reference,
+    asserts all missed-fault lists are identical, and records
+    per-engine rates with a compile/golden/grade phase split in a
+    ``repro-bench-gatesim/2`` report.  ``--check`` gates on
+    ``--gates-threshold`` (event vs reference) and
+    ``--gates-event-threshold`` (event vs word).
     """
     import json
     import time
 
-    from .gates import (elaborate, enumerate_cell_faults, gate_level_missed,
-                        gate_level_missed_reference)
+    from .gates import (compiled_program, elaborate, enumerate_cell_faults,
+                        fused_program, gate_level_missed)
+    from .gates.compiled import golden_net_waves
+    from .gates.gatesim import pack_input_bits
     from .generators import Type1Lfsr, match_width
 
     name = resolve_design(args.gates_design)
@@ -828,8 +861,8 @@ def _cmd_bench_gates(args) -> int:
     raw = match_width(Type1Lfsr(width).sequence(args.gates_vectors),
                       width, width)
 
-    # --schedule MODE reorders the optimized engine's batches; verdicts
-    # scatter back by index so the identical-to-reference assertion
+    # --schedule MODE reorders the cone engines' batches; verdicts
+    # scatter back by index so the identical-across-engines assertion
     # still holds for every mode.
     schedule_mode = args.schedule or "cone"
     scheduler = None
@@ -842,43 +875,85 @@ def _cmd_bench_gates(args) -> int:
         scheduler = make_scheduler(schedule_mode, predictor=predictor,
                                    seed=args.schedule_seed)
 
-    tel = Telemetry()
-    previous = set_telemetry(tel)
-    try:
-        t0 = time.perf_counter()
-        missed_opt = gate_level_missed(nl, raw, faults,
-                                       scheduler=scheduler)
-        opt_seconds = time.perf_counter() - t0
-    finally:
-        set_telemetry(previous)
-    counters = {key: tel.counter(key).value for key in _GATE_COUNTERS}
-    outer = get_telemetry()
-    if outer.enabled:
-        # Fold the isolated run's spans and counters into the session
-        # collector so --profile / --report sees the gate-sim pass too.
-        from .telemetry import collector_payload
-
-        outer.absorb(collector_payload(tel))
-
-    t0 = time.perf_counter()
-    missed_ref = gate_level_missed_reference(nl, raw, faults)
-    ref_seconds = time.perf_counter() - t0
-
     def fault_key(f):
         return (f.node_id, f.bit, f.cell_fault)
 
-    identical = ([fault_key(f) for f in missed_opt]
-                 == [fault_key(f) for f in missed_ref])
-    speedup = ref_seconds / opt_seconds if opt_seconds else 0.0
+    outer = get_telemetry()
+    engines = {}
+    missed_by_engine = {}
+    event_counters = {}
+    for eng in ("event", "word", "reference"):
+        # A fresh netlist per engine defeats the per-object program
+        # memo, so each tier's compile phase is measured cold.
+        nl_e = elaborate(design.graph)
+        tel = Telemetry()
+        previous = set_telemetry(tel)
+        try:
+            if eng == "reference":
+                # The reference engine predates the pipeline split: it
+                # simulates golden and grades in one pass, so the whole
+                # cost lands in the grade phase.
+                compile_s = golden_s = 0.0
+                t0 = time.perf_counter()
+                missed = gate_level_missed(nl_e, raw, faults, engine=eng)
+                grade_s = time.perf_counter() - t0
+            else:
+                t0 = time.perf_counter()
+                prog = compiled_program(nl_e)
+                if eng == "event":
+                    fused_program(prog)  # memoized; EventCones reuse it
+                compile_s = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                waves = golden_net_waves(
+                    prog, pack_input_bits(raw, len(nl_e.input_bits)))
+                golden_s = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                missed = gate_level_missed(
+                    nl_e, raw, faults, scheduler=scheduler, engine=eng,
+                    program=prog, net_waves=waves)
+                grade_s = time.perf_counter() - t0
+        finally:
+            set_telemetry(previous)
+        if eng == "event":
+            event_counters = {key: tel.counter(key).value
+                              for key in _GATE_COUNTERS}
+        if outer.enabled:
+            # Fold each isolated run's spans and counters into the
+            # session collector so --profile / --report sees them.
+            from .telemetry import collector_payload
 
-    def rates(seconds: float):
-        return {
-            "seconds": seconds,
-            "faults_per_sec": len(faults) / seconds if seconds else 0.0,
+            outer.absorb(collector_payload(tel))
+        total_s = compile_s + golden_s + grade_s
+        missed_by_engine[eng] = [fault_key(f) for f in missed]
+        doc = {
+            "seconds": total_s,
+            "faults_per_sec": len(faults) / total_s if total_s else 0.0,
+            "grade_faults_per_sec": (len(faults) / grade_s
+                                     if grade_s else 0.0),
+            "phases": {
+                "compile_seconds": compile_s,
+                "golden_seconds": golden_s,
+                "grade_seconds": grade_s,
+            },
         }
+        if eng == "event":
+            doc["counters"] = event_counters
+        engines[eng] = doc
 
+    identical = (missed_by_engine["event"] == missed_by_engine["word"]
+                 == missed_by_engine["reference"])
+
+    def ratio(num: str, den: str) -> float:
+        d = engines[num]["seconds"]
+        return engines[den]["seconds"] / d if d else 0.0
+
+    speedups = {
+        "event_vs_reference": ratio("event", "reference"),
+        "word_vs_reference": ratio("word", "reference"),
+        "event_vs_word": ratio("event", "word"),
+    }
     report = {
-        "schema": "repro-bench-gatesim/1",
+        "schema": "repro-bench-gatesim/2",
         "created_unix": _bench_now(args),
         "git_sha": current_git_sha(),
         "config": {
@@ -887,10 +962,9 @@ def _cmd_bench_gates(args) -> int:
             "faults": len(faults),
             "schedule": schedule_mode,
         },
-        "reference": rates(ref_seconds),
-        "optimized": dict(rates(opt_seconds), counters=counters),
-        "missed": len(missed_opt),
-        "speedup": speedup,
+        "engines": engines,
+        "missed": len(missed_by_engine["event"]),
+        "speedups": speedups,
         "identical": identical,
     }
     with open(args.gates_out, "w", encoding="utf-8") as fh:
@@ -898,47 +972,66 @@ def _cmd_bench_gates(args) -> int:
         fh.write("\n")
 
     # Same provenance (schema, pinned timestamp, git sha) lands in the
-    # run ledger, where `repro runs trend` reads the history.
+    # run ledger, where `repro runs trend` reads the history.  The
+    # headline faults_per_sec stays the optimized-engine rate (now the
+    # event tier), so trend history spans the /1 -> /2 schema change.
     _ledger_append(args, build_record(
         "bench-gates",
-        config=report["config"],
+        config=dict(report["config"], engine="event"),
         created_unix=report["created_unix"],
         bench={
-            "faults_per_sec": report["optimized"]["faults_per_sec"],
+            "faults_per_sec": engines["event"]["faults_per_sec"],
+            "grade_faults_per_sec":
+                engines["event"]["grade_faults_per_sec"],
+            "word_faults_per_sec": engines["word"]["faults_per_sec"],
             "reference_faults_per_sec":
-                report["reference"]["faults_per_sec"],
-            "optimized_seconds": opt_seconds,
-            "reference_seconds": ref_seconds,
-            "speedup": speedup,
+                engines["reference"]["faults_per_sec"],
+            "optimized_seconds": engines["event"]["seconds"],
+            "reference_seconds": engines["reference"]["seconds"],
+            "speedup": speedups["event_vs_reference"],
+            "event_vs_word": speedups["event_vs_word"],
         },
-        metrics={k: float(v) for k, v in counters.items()},
+        metrics={k: float(v) for k, v in event_counters.items()},
         git_sha=report["git_sha"],
-        duration_seconds=opt_seconds + ref_seconds,
-        extra={"identical": identical, "missed": len(missed_opt)}))
+        duration_seconds=sum(e["seconds"] for e in engines.values()),
+        extra={"identical": identical, "missed": report["missed"]}))
 
     print(f"gate-level universe: {name}, {len(faults)} faults, "
           f"{args.gates_vectors} vectors")
-    print(f"optimized: {opt_seconds:8.2f}s  "
-          f"{report['optimized']['faults_per_sec']:10,.0f} faults/s  "
-          f"missed {len(missed_opt)}")
-    print(f"reference: {ref_seconds:8.2f}s  "
-          f"{report['reference']['faults_per_sec']:10,.0f} faults/s  "
-          f"missed {len(missed_ref)}")
-    print(f"speedup:   {speedup:.2f}x   identical: {identical}   "
+    for eng in ("event", "word", "reference"):
+        doc = engines[eng]
+        ph = doc["phases"]
+        print(f"{eng:9s}: {doc['seconds']:8.2f}s  "
+              f"{doc['faults_per_sec']:10,.0f} faults/s  "
+              f"(compile {ph['compile_seconds']:.2f}s, golden "
+              f"{ph['golden_seconds']:.2f}s, grade "
+              f"{ph['grade_seconds']:.2f}s)  "
+              f"missed {len(missed_by_engine[eng])}")
+    print(f"speedups:  event/reference "
+          f"{speedups['event_vs_reference']:.2f}x   event/word "
+          f"{speedups['event_vs_word']:.2f}x   identical: {identical}   "
           f"wrote {args.gates_out}")
 
     if args.check:
         if not identical:
-            print("bench check FAILED: cone-engine verdicts differ from "
-                  "the reference engine", file=sys.stderr)
-            return 1
-        if speedup < args.gates_threshold:
-            print(f"bench check FAILED: gate-sim speedup {speedup:.2f} "
-                  f"below threshold {args.gates_threshold:.2f}",
+            print("bench check FAILED: engine verdicts differ",
                   file=sys.stderr)
             return 1
-        print(f"bench check passed: speedup {speedup:.2f} >= "
-              f"{args.gates_threshold:.2f}")
+        if speedups["event_vs_reference"] < args.gates_threshold:
+            print(f"bench check FAILED: event/reference speedup "
+                  f"{speedups['event_vs_reference']:.2f} below threshold "
+                  f"{args.gates_threshold:.2f}", file=sys.stderr)
+            return 1
+        if speedups["event_vs_word"] < args.gates_event_threshold:
+            print(f"bench check FAILED: event/word speedup "
+                  f"{speedups['event_vs_word']:.2f} below threshold "
+                  f"{args.gates_event_threshold:.2f}", file=sys.stderr)
+            return 1
+        print(f"bench check passed: event/reference "
+              f"{speedups['event_vs_reference']:.2f} >= "
+              f"{args.gates_threshold:.2f}, event/word "
+              f"{speedups['event_vs_word']:.2f} >= "
+              f"{args.gates_event_threshold:.2f}")
     return 0
 
 
@@ -1643,6 +1736,7 @@ def _cmd_cluster(args) -> int:
         faults_limit=args.faults, shard_faults=args.shard_faults,
         schedule=args.schedule, schedule_bins=args.schedule_bins,
         schedule_seed=args.schedule_seed, chunk=args.chunk,
+        engine=args.engine,
         misr_width=args.misr_width, shard_timeout=args.shard_timeout,
         max_retries=args.max_retries,
         straggler_factor=args.straggler_factor,
@@ -1650,9 +1744,10 @@ def _cmd_cluster(args) -> int:
         verify=args.verify, cache=cache)
     doc = report.to_doc()
     merged = report.merged
+    engine_name = _gate_engine_name(args.engine or None)
     print(f"cluster sweep: {doc['params']['design']} x "
           f"{doc['params']['generator']}  {doc['params']['vectors']} "
-          f"vectors  {merged.total} faults")
+          f"vectors  {merged.total} faults  engine={engine_name}")
     print(f"  coverage {100.0 * merged.coverage:6.2f}%  "
           f"({merged.total - merged.detected} missed)  "
           f"signature {doc['signature']}")
@@ -1672,16 +1767,22 @@ def _cmd_cluster(args) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
         print(f"wrote cluster report to {args.out}")
+    # The throughput headline (merged faults over wall-clock, engine
+    # named alongside) is what `repro runs trend --check` gates on
+    # across cluster-sweep history.
     _ledger_append(args, build_record(
         "cluster-sweep",
         config=dict(doc["params"], endpoints=sorted(set(args.endpoints)),
                     shard_faults=args.shard_faults,
-                    schedule=args.schedule),
+                    schedule=args.schedule, engine=engine_name),
         created_unix=time.time(),
         metrics=summarize_telemetry() or None,
         git_sha=current_git_sha(),
         duration_seconds=report.elapsed_seconds,
         coverage_curve=[(t, c) for t, c in merged.checkpoints],
+        bench={"faults_per_sec": (merged.total
+                                  / report.elapsed_seconds
+                                  if report.elapsed_seconds else 0.0)},
         extra={"coverage": float(merged.coverage),
                "missed": merged.total - merged.detected,
                "signature": doc["signature"],

@@ -60,12 +60,15 @@ from .netlist import GateNetlist
 
 __all__ = [
     "DEFAULT_CHUNK",
+    "DEFAULT_ENGINE",
     "DEFAULT_WORDS",
+    "ENGINES",
     "fault_parallel_detect",
     "fault_parallel_grade",
     "fault_parallel_reference",
     "gate_level_missed",
     "gate_level_missed_reference",
+    "resolve_engine",
 ]
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
@@ -75,6 +78,38 @@ DEFAULT_CHUNK = 512
 
 #: 64-fault words evaluated side by side per cone pass.
 DEFAULT_WORDS = 8
+
+#: First-deepening-stage word width for the event engine.  The event
+#: evaluator's per-chunk cost is dominated by fixed per-op Python
+#: overhead while the stage-1 prefix is short, so packing 4x more
+#: faults per cone pass cuts the pass count (and cone construction)
+#: almost linearly; later stages keep :data:`DEFAULT_WORDS` so the
+#: per-net buffers stay small at full stimulus length.  Verdicts and
+#: chunk-end detection times are batch-size independent, so widening
+#: one stage cannot change a result.
+EVENT_STAGE1_WORDS = 32
+
+#: Selectable engine tiers, fastest first: ``event`` is the
+#: event-driven frontier evaluator over fused LUT super-gates
+#: (:mod:`repro.gates.eventsim`), ``word`` the dense word-widened cone
+#: engine (:class:`~repro.gates.compiled.BatchCone`), ``reference`` the
+#: pre-optimization whole-netlist oracle.  All three produce
+#: bit-identical verdicts; ``event`` and ``word`` additionally share
+#: chunk-end detection times.
+ENGINES = ("event", "word", "reference")
+
+#: Engine used when callers pass ``engine=None``.
+DEFAULT_ENGINE = "event"
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Normalize an ``engine=`` knob value, defaulting and validating."""
+    name = DEFAULT_ENGINE if engine is None else str(engine)
+    if name not in ENGINES:
+        raise SimulationError(
+            f"unknown gate engine {name!r}; choose from "
+            f"{', '.join(ENGINES)}")
+    return name
 
 
 def _line_masks(
@@ -121,8 +156,17 @@ def _grade_cone_batch(
     ws: ConeWorkspace,
     length: Optional[int] = None,
     first_detect: Optional[np.ndarray] = None,
+    engine: str = "word",
+    dense_hint: Optional[bool] = None,
 ) -> Tuple[np.ndarray, Dict[str, int]]:
     """Verdicts + drop statistics for one multi-word cone pass.
+
+    ``engine`` picks the cone evaluator: ``"word"`` builds the dense
+    :class:`BatchCone`, ``"event"`` the frontier-driven
+    :class:`~repro.gates.eventsim.EventCone` over the fused super-gate
+    program.  Both share this driver — chunking, deepening prefix,
+    per-word dropping and chunk-end detection-time capture are
+    identical, so verdicts and times are bit-identical across engines.
 
     ``length`` grades only the stimulus prefix ``[0, length)`` — the
     building block of the iterative-deepening driver; detection over a
@@ -142,8 +186,27 @@ def _grade_cone_batch(
         length = lane_waves.shape[1]
     chunk = min(chunk, length) if length else 1
     net_masks, pin_masks = _line_masks(faults, words)
-    cone = BatchCone(prog, net_masks, pin_masks, words)
-    cone.bind_golden(ws, lane_waves)
+    if engine == "event":
+        from .eventsim import EventCone, fused_program
+
+        cone = EventCone(fused_program(prog), net_masks, pin_masks, words)
+        # The driver knows whether this pass grades an all-fresh fault
+        # population (first deepening stage: frontier provably wide,
+        # start dense) or deepening survivors (start sparse).
+        if dense_hint is not None:
+            cone.dense_hint = dense_hint
+    else:
+        cone = BatchCone(prog, net_masks, pin_masks, words)
+    if engine == "event":
+        # The event cone reads golden lazily straight from the full
+        # (contiguous) matrix; per-chunk slices stay within [0, length).
+        cone.bind_golden(ws, lane_waves, length)
+    else:
+        # Bind only the graded stimulus window: a deepening-prefix pass
+        # reads golden rows in [0, length) alone, and gathering the full
+        # waveform length would dominate short-prefix stages.
+        cone.bind_golden(ws, lane_waves if length >= lane_waves.shape[1]
+                         else lane_waves[:, :length])
 
     full = np.full(words, _ALL_ONES, dtype=np.uint64)
     tail = n - 64 * (words - 1)
@@ -154,11 +217,21 @@ def _grade_cone_batch(
 
     detected = np.zeros(words, dtype=np.uint64)
     active = np.arange(words)
-    n_chunks = -(-length // chunk) if length else 0
     skipped = dropped = work = 0
     lanes64 = np.arange(64, dtype=np.uint64)
-    for ci, t0 in enumerate(range(0, length, chunk)):
-        t1 = min(t0 + chunk, length)
+    # Wide passes (the widened first deepening stage) evaluate in fine
+    # sub-chunk steps so fully-detected words compact away *within* the
+    # canonical chunk: on a short prefix most faults are caught inside
+    # the first few dozen vectors, after which the remaining columns
+    # run over a handful of words instead of all of them.  Steps never
+    # cross a canonical chunk boundary and detection times are rounded
+    # up to it, so verdicts and times are independent of the stepping.
+    fine = max(32, chunk // 4)
+    t0 = 0
+    while length and t0 < length:
+        bnd = (t0 // chunk + 1) * chunk
+        t1 = min(t0 + (fine if active.size >= 16 else chunk), bnd,
+                 length)
         work += int(lanes_of[active].sum()) * (t1 - t0)
         hits = cone.evaluate_chunk(ws, t0, t1)
         if first_detect is not None:
@@ -168,24 +241,26 @@ def _grade_cone_batch(
                         & np.uint64(1)).astype(bool)
                 rows = (active[:, None] * 64
                         + np.arange(64)[None, :])[bits]
-                first_detect[rows[rows < n]] = t1
+                first_detect[rows[rows < n]] = min(bnd, length)
         detected[active] |= hits
         done = detected[active] == full[active]
         if t1 == length:
             break
         if done.any():
-            remaining = n_chunks - ci - 1
-            skipped += remaining * int(done.sum())
+            skipped += -(-(length - t1) // chunk) * int(done.sum())
             dropped += int(lanes_of[active[done]].sum())
             if done.all():
                 break
             cone.compact(~done)
             active = active[~done]
+        t0 = t1
     stats = {
         "cone_nets": cone.cone_nets,
         "chunks_skipped": skipped,
         "faults_dropped": dropped,
         "work": work,
+        "frontier_nets": int(getattr(cone, "frontier_rows", 0)),
+        "words_skipped": int(getattr(cone, "words_skipped", 0)),
     }
     lanes = np.arange(64, dtype=np.uint64)
     bits = ((detected[:, None] >> lanes[None, :]) & np.uint64(1))
@@ -221,6 +296,10 @@ def _emit_batch_stats(tel, n_faults: int, stats: Dict[str, int]) -> None:
         tel.counter("gates.chunks_skipped").add(stats["chunks_skipped"])
     if stats["faults_dropped"]:
         tel.counter("gates.faults_dropped").add(stats["faults_dropped"])
+    if stats.get("frontier_nets"):
+        tel.counter("gates.frontier_nets").add(stats["frontier_nets"])
+    if stats.get("words_skipped"):
+        tel.counter("gates.words_skipped").add(stats["words_skipped"])
 
 
 def fault_parallel_detect(
@@ -232,6 +311,7 @@ def fault_parallel_detect(
     program: Optional[CompiledNetlist] = None,
     net_waves: Optional[np.ndarray] = None,
     chunk: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> np.ndarray:
     """Exact detection verdicts for up to 64 faults in one pass.
 
@@ -248,7 +328,8 @@ def fault_parallel_detect(
     if len(faults) > 64:
         raise SimulationError("at most 64 faults per batch")
     return fault_parallel_grade(nl, input_raw, faults, program=program,
-                                net_waves=net_waves, chunk=chunk)
+                                net_waves=net_waves, chunk=chunk,
+                                engine=engine)
 
 
 def fault_parallel_grade(
@@ -261,15 +342,24 @@ def fault_parallel_grade(
     chunk: Optional[int] = None,
     words: Optional[int] = None,
     workspace: Optional[ConeWorkspace] = None,
+    engine: Optional[str] = None,
 ) -> np.ndarray:
     """Exact detection verdicts for arbitrarily many faults.
 
     Faults are graded ``64 * words`` at a time (one cone pass per
     group); pass pre-scheduled faults (see
     :func:`repro.gates.faults.schedule_fault_batches`) to keep each
-    pass's cone small.  Verdicts align with ``faults``.
+    pass's cone small.  Verdicts align with ``faults``.  ``engine``
+    selects the cone evaluator tier (:data:`ENGINES`); the
+    ``reference`` tier is only reachable through
+    :func:`gate_level_missed` / :func:`fault_parallel_reference`.
     """
     tel = get_telemetry()
+    engine = resolve_engine(engine)
+    if engine == "reference":
+        raise SimulationError(
+            "fault_parallel_grade has no reference tier; use "
+            "fault_parallel_reference")
     prog = program if program is not None else compiled_program(nl)
     if net_waves is None:
         raw = np.asarray(input_raw, dtype=np.int64)
@@ -277,17 +367,22 @@ def fault_parallel_grade(
             prog, pack_input_bits(raw, len(nl.input_bits)))
     lane_waves = expand_lane_waves(net_waves)
     chunk_len = DEFAULT_CHUNK if chunk is None else max(1, int(chunk))
+    auto_words = words is None
     words = DEFAULT_WORDS if words is None else max(1, int(words))
     ws = workspace if workspace is not None else ConeWorkspace()
 
-    span_size = 64 * words
     faults = list(faults)
     verdicts = np.zeros(len(faults), dtype=bool)
     # Same iterative-deepening strategy as gate_level_missed: finalize
     # the easy majority on a short prefix, regrade survivors (packed
     # densely, preserving the caller's locality order) on longer ones.
     remaining = np.arange(len(faults))
-    for stage_len in _deepening_schedule(lane_waves.shape[1], chunk_len):
+    stages = _deepening_schedule(lane_waves.shape[1], chunk_len)
+    for stage_len in stages:
+        stage_words = (EVENT_STAGE1_WORDS
+                       if auto_words and engine == "event"
+                       and stage_len == stages[0] else words)
+        span_size = 64 * stage_words
         for start in range(0, remaining.size, span_size):
             idx = remaining[start:start + span_size]
             batch = [faults[i] for i in idx]
@@ -295,7 +390,7 @@ def fault_parallel_grade(
                           prefix=stage_len):
                 batch_verdicts, stats = _grade_cone_batch(
                     prog, lane_waves, batch, chunk_len, ws,
-                    length=stage_len)
+                    length=stage_len, engine=engine, dense_hint=True)
             verdicts[idx] = batch_verdicts
             if tel.enabled:
                 _emit_batch_stats(tel, len(batch), stats)
@@ -321,6 +416,9 @@ def gate_level_missed(
     on_batch: Optional[Callable[[Dict[str, int]], None]] = None,
     detect_times: Optional[np.ndarray] = None,
     deepening: bool = True,
+    engine: Optional[str] = None,
+    program: Optional[CompiledNetlist] = None,
+    net_waves: Optional[np.ndarray] = None,
 ) -> List[EnumeratedFault]:
     """Exact gate-level missed-fault list over an arbitrary universe.
 
@@ -358,24 +456,54 @@ def gate_level_missed(
     The schedule benchmark uses this to isolate batch *ordering* as the
     only easy-first mechanism; production callers should leave
     deepening on.
+
+    ``engine`` selects the evaluator tier (:data:`ENGINES`, default
+    :data:`DEFAULT_ENGINE`).  ``"event"`` and ``"word"`` share this
+    driver and are bit-identical in verdicts *and* detection times;
+    ``"reference"`` delegates to :func:`gate_level_missed_reference`
+    (verdict-identical, but it predates the hooks below and rejects
+    them).
+
+    ``program``/``net_waves`` accept a pre-compiled program and a
+    pre-simulated golden per-net waveform matrix, skipping the
+    corresponding pipeline stages here.  ``repro bench --gates`` uses
+    this to time the compile/golden/grade phases separately.
     """
     tel = get_telemetry()
+    engine = resolve_engine(engine)
+    if engine == "reference":
+        if (scheduler is not None or on_batch is not None
+                or detect_times is not None or program is not None
+                or net_waves is not None):
+            raise SimulationError(
+                "engine='reference' supports none of scheduler=/"
+                "on_batch=/detect_times=/program=/net_waves=")
+        return gate_level_missed_reference(nl, input_raw, faults,
+                                           progress)
     plan_batches = (schedule_fault_batches if scheduler is None
                     else scheduler)
     raw = np.asarray(input_raw, dtype=np.int64)
+    auto_words = words is None
     n_words = DEFAULT_WORDS if words is None else max(1, int(words))
     with tel.span("gates.fault_parallel", faults=len(faults),
                   vectors=len(raw)) as span:
         from ..cache.pipeline import cached_gate_program, cached_net_waves
 
-        prog = cached_gate_program(cache, nl,
-                                   lambda: compiled_program(nl))
-        net_waves = cached_net_waves(
-            cache, nl, raw,
-            lambda: golden_net_waves(
-                prog, pack_input_bits(raw, len(nl.input_bits))))
+        prog = (program if program is not None
+                else cached_gate_program(cache, nl,
+                                         lambda: compiled_program(nl)))
+        if net_waves is None:
+            net_waves = cached_net_waves(
+                cache, nl, raw,
+                lambda: golden_net_waves(
+                    prog, pack_input_bits(raw, len(nl.input_bits))))
 
         lane_waves = expand_lane_waves(net_waves)
+        if engine == "event" and tel.enabled:
+            from .eventsim import fused_program
+
+            tel.counter("gates.lut_fused_levels").add(
+                fused_program(prog).stats["levels_fused"])
         chunk_len = DEFAULT_CHUNK if chunk is None else max(1, int(chunk))
         chunk_len = min(chunk_len, max(len(raw), 1))
         ws = ConeWorkspace()
@@ -393,8 +521,11 @@ def gate_level_missed(
                   else [len(raw)])
         for stage_len in stages:
             final = stage_len == len(raw)
+            stage_words = (EVENT_STAGE1_WORDS
+                           if auto_words and engine == "event"
+                           and stage_len == stages[0] else n_words)
             subset = [faults[i] for i in remaining]
-            for batch in plan_batches(subset, 64 * n_words):
+            for batch in plan_batches(subset, 64 * stage_words):
                 idx = remaining[np.asarray(batch, dtype=np.int64)]
                 first_detect = (np.full(len(batch), -1, dtype=np.int64)
                                 if detect_times is not None else None)
@@ -404,7 +535,8 @@ def gate_level_missed(
                         prog, lane_waves,
                         [faults[i].netlist_fault for i in idx],
                         chunk_len, ws, length=stage_len,
-                        first_detect=first_detect)
+                        first_detect=first_detect, engine=engine,
+                        dense_hint=True)
                 verdicts[idx] = batch_verdicts
                 if first_detect is not None:
                     hit = first_detect >= 0

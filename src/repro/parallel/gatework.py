@@ -47,8 +47,10 @@ _GATE_STATE: Dict[str, Any] = {}
 
 
 def _init_gate_worker(nl: GateNetlist, raw: np.ndarray,
-                      netlist_faults: Sequence) -> None:
+                      netlist_faults: Sequence,
+                      engine: Optional[str] = None) -> None:
     _GATE_STATE["payload"] = (nl, raw, list(netlist_faults))
+    _GATE_STATE["engine"] = engine
     _GATE_STATE.pop("compiled", None)
 
 
@@ -69,7 +71,8 @@ def _grade_batch(start: int) -> np.ndarray:
     prog, waves = _compiled_state(nl, raw)
     batch = netlist_faults[start:start + BATCH]
     return fault_parallel_grade(nl, raw, batch, program=prog,
-                                net_waves=waves)
+                                net_waves=waves,
+                                engine=_GATE_STATE.get("engine"))
 
 
 def gate_level_missed_parallel(
@@ -81,6 +84,7 @@ def gate_level_missed_parallel(
     timeout: Optional[float] = None,
     golden: Optional[np.ndarray] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    engine: Optional[str] = None,
 ) -> List:
     """Exact missed-fault list, 64-fault batches fanned across workers.
 
@@ -88,7 +92,8 @@ def gate_level_missed_parallel(
     :func:`repro.gates.fault_parallel.gate_level_missed`; identical
     verdicts, ``ceil(F / 64)`` independent tasks.  (``golden`` is
     accepted for backward compatibility; workers derive the golden
-    machine from their own compiled simulation.)
+    machine from their own compiled simulation.)  ``engine`` picks each
+    worker's cone evaluator tier — every tier is bit-identical.
     """
     faults = list(faults)
     tel = get_telemetry()
@@ -111,13 +116,14 @@ def gate_level_missed_parallel(
                 batch = netlist_faults[start:start + BATCH]
                 out.append(fault_parallel_grade(nl, raw, batch,
                                                 program=prog,
-                                                net_waves=waves))
+                                                net_waves=waves,
+                                                engine=engine))
             return out
 
         verdict_blocks = parallel_map(
             _grade_batch, starts, jobs=jobs, timeout=timeout,
             initializer=_init_gate_worker,
-            initargs=(nl, raw, netlist_faults),
+            initargs=(nl, raw, netlist_faults, engine),
             serial_fallback=_serial, label="gates.fault_pool")
 
         verdicts = np.zeros(len(faults), dtype=bool)

@@ -76,6 +76,38 @@ def _check_bench_gatesim(doc: Dict[str, Any]) -> None:
               "bench-gatesim report [optimized.counters]")
 
 
+def _check_bench_gatesim_v2(doc: Dict[str, Any]) -> None:
+    _require(doc, ("engines", "speedups", "identical"),
+             "bench-gatesim/2 report")
+    engines = doc["engines"]
+    expected = {"event", "word", "reference"}
+    if set(engines) != expected:
+        raise ReportSchemaError(
+            f"bench-gatesim/2 report: engines must be exactly "
+            f"{sorted(expected)}, got {sorted(engines)}")
+    for name, entry in engines.items():
+        _positive(entry, ("seconds", "faults_per_sec"),
+                  f"bench-gatesim/2 report [engines.{name}]")
+        phases = entry.get("phases")
+        if not isinstance(phases, dict):
+            raise ReportSchemaError(
+                f"bench-gatesim/2 report: engines.{name}.phases missing")
+        _require(phases, ("compile_seconds", "golden_seconds",
+                          "grade_seconds"),
+                 f"bench-gatesim/2 report [engines.{name}.phases]")
+        _positive(phases, ("grade_seconds",),
+                  f"bench-gatesim/2 report [engines.{name}.phases]")
+    if doc["identical"] is not True:
+        raise ReportSchemaError(
+            "bench-gatesim/2 report: engine verdicts are not identical")
+    _require(doc["speedups"], ("event_vs_reference", "word_vs_reference",
+                               "event_vs_word"),
+             "bench-gatesim/2 report [speedups]")
+    counters = engines["event"].get("counters", {})
+    _positive(counters, ("gates.fault_batches",),
+              "bench-gatesim/2 report [engines.event.counters]")
+
+
 def _check_bench_schedule(doc: Dict[str, Any]) -> None:
     _require(doc, ("identical", "rank_correlation", "orderings"),
              "bench-schedule report")
@@ -156,6 +188,7 @@ def _check_loadtest(doc: Dict[str, Any]) -> None:
 REPORT_SCHEMAS: Dict[str, Callable[[Dict[str, Any]], None]] = {
     "repro-bench-parallel/1": _check_bench_parallel,
     "repro-bench-gatesim/1": _check_bench_gatesim,
+    "repro-bench-gatesim/2": _check_bench_gatesim_v2,
     "repro-bench-schedule/1": _check_bench_schedule,
     "repro-cluster-sweep/1": _check_cluster_sweep,
     "repro-loadtest/1": _check_loadtest,

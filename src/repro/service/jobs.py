@@ -128,6 +128,20 @@ def _index_list(params: Dict[str, Any], name: str,
     return out
 
 
+def _engine_param(params: Dict[str, Any]) -> str:
+    """The cone evaluator tier a gate-grading job runs (canonical
+    spelling; empty/missing means the executing worker's default)."""
+    raw = params.pop("engine", "")
+    if raw in ("", None):
+        return ""
+    from ..gates import resolve_engine
+
+    try:
+        return resolve_engine(str(raw))
+    except Exception as exc:
+        raise ServiceError(str(exc), status=400) from None
+
+
 def _trace_param(params: Dict[str, Any]) -> Optional[Dict[str, Any]]:
     """An optional ``{"trace_id": ..., "span_id": ...}`` dict naming
     where the shard's spans hang in the *coordinator's* trace."""
@@ -192,6 +206,7 @@ def canonical_params(kind: str, params: Optional[Dict[str, Any]]
                                        MIN_MISR_WIDTH, MAX_MISR_WIDTH)
         # 0 = the engine's default time-chunk length.
         out["chunk"] = _int_param(params, "chunk", 0, 0, MAX_VECTORS)
+        out["engine"] = _engine_param(params)
         out["indices"] = _index_list(params, "indices", out["total"])
         trace = _trace_param(params)
         if trace is not None:

@@ -139,7 +139,7 @@ def execute_job(ctx, kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
         }
     if kind == "grade-shard":
         from ..cluster.shards import grade_shard
-        from ..gates import elaborate, enumerate_cell_faults
+        from ..gates import elaborate, enumerate_cell_faults, resolve_engine
         from ..generators.base import match_width
         from ..telemetry import child_collector
 
@@ -176,7 +176,8 @@ def execute_job(ctx, kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
                               params["total"],
                               misr_width=params["misr_width"],
                               cache=ctx.cache,
-                              chunk=params["chunk"] or None)
+                              chunk=params["chunk"] or None,
+                              engine=params.get("engine") or None)
         doc.update({
             "design": params["design"],
             "generator": params["generator"],
@@ -184,6 +185,7 @@ def execute_job(ctx, kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
             "width": params["width"],
             "total": params["total"],
             "misr_width": params["misr_width"],
+            "engine": resolve_engine(params.get("engine") or None),
         })
         if handle.payload is not None:
             doc["trace"] = handle.payload

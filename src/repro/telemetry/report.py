@@ -240,6 +240,20 @@ def _parallel_section(metrics: Dict[str, Dict[str, object]]) -> List[str]:
     return out
 
 
+def _gates_section(metrics: Dict[str, Dict[str, object]]) -> List[str]:
+    names = [n for n in metrics
+             if n.startswith("gates.") and metrics[n]["type"] == "counter"]
+    if not names:
+        return []
+    out = ["<h2>Gate-level fault sim</h2>",
+           "<table><tr><th>counter</th><th>value</th></tr>"]
+    for name in sorted(names):
+        out.append(f"<tr><td>{html.escape(name)}</td>"
+                   f"<td class='num'>{metrics[name]['value']}</td></tr>")
+    out.append("</table>")
+    return out
+
+
 def _histogram_section(metrics: Dict[str, Dict[str, object]]) -> List[str]:
     rows = []
     for name, e in sorted(metrics.items()):
@@ -306,6 +320,7 @@ def render_run_report(events: List[Dict[str, object]], *,
     body.extend(_stage_table(roots))
     body.extend(_cache_section(metrics))
     body.extend(_parallel_section(metrics))
+    body.extend(_gates_section(metrics))
     body.extend(_histogram_section(metrics))
     body.extend(_testzone_section(metrics))
 

@@ -93,6 +93,33 @@ class TestMergeDeterminism:
                                      test_length=len(raw))
         assert merged.identical_to(oracle)
 
+    def test_mixed_engine_fleet_merges_identically(self, lp_universe,
+                                                   oracle):
+        """A fleet whose workers run different engine tiers still
+        merges bit-identically — verdicts, detection times, signature
+        and checkpoints — because every tier is exact."""
+        nl, raw, faults = lp_universe
+        shards = plan_shards(faults, max_faults=96, batch_size=48)
+        engines = ("event", "word", None)  # None = worker default
+        results = []
+        for shard in shards:
+            res = grade_shard(nl, raw, faults, shard.indices,
+                              len(faults),
+                              engine=engines[shard.shard_id
+                                             % len(engines)])
+            res["shard"] = shard.shard_id
+            results.append(res)
+        merged = merge_shard_results(len(faults), results,
+                                     test_length=len(raw))
+        assert merged.identical_to(oracle)
+
+    def test_single_node_engines_agree(self, lp_universe, oracle):
+        nl, raw, faults = lp_universe
+        assert single_node_grade(nl, raw, faults,
+                                 engine="word").identical_to(oracle)
+        assert single_node_grade(nl, raw, faults,
+                                 engine="event").identical_to(oracle)
+
     def test_oracle_properties(self, oracle):
         assert oracle.total == FAULTS
         assert 0.0 < oracle.coverage <= 1.0

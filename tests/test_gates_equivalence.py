@@ -119,6 +119,94 @@ class TestRandomizedEquivalence:
             assert all(len(b) <= batch_size for b in batches)
 
 
+class TestEngineEquivalence:
+    """Three-way engine identity: event == word == reference.
+
+    Verdicts must match the reference oracle for every engine tier,
+    and — because detection times are recorded at canonical-chunk-end
+    granularity — detection times and the MISR signature of the
+    detection-time stream must be identical across engines, word
+    widths and schedulers *at a fixed chunk size*.
+    """
+
+    def _schedulers(self, design):
+        from repro.schedule import FaultPredictor, make_scheduler
+
+        yield "cone", None
+        yield "random", make_scheduler("random")
+        yield "predicted", make_scheduler(
+            "predicted", predictor=FaultPredictor(design, "lfsr1",
+                                                  bins=8))
+
+    def test_engines_verdicts_times_and_signatures(self, rng):
+        from repro.cluster.signature import stream_signature
+
+        for trial in range(2):
+            design = _random_design(rng, f"eng-{trial}")
+            nl = elaborate(design.graph)
+            faults = enumerate_cell_faults(design.graph, nl)
+            raw = rng.integers(-2048, 2048,
+                               size=int(rng.integers(120, 320)))
+            expect = [_fault_key(f)
+                      for f in gate_level_missed_reference(nl, raw,
+                                                           faults)]
+            ref = [_fault_key(f)
+                   for f in gate_level_missed(nl, raw, faults,
+                                              engine="reference")]
+            assert ref == expect
+            base = {}  # chunk -> (detect_times, signature)
+            for engine in ("word", "event"):
+                for chunk, words in ((None, None), (64, 2), (64, 1),
+                                     (512, 8)):
+                    for mode, sched in self._schedulers(design):
+                        tag = (trial, engine, chunk, words, mode)
+                        dt = np.full(len(faults), -1, dtype=np.int64)
+                        missed = gate_level_missed(
+                            nl, raw, faults, chunk=chunk, words=words,
+                            engine=engine, scheduler=sched,
+                            detect_times=dt)
+                        assert [_fault_key(f)
+                                for f in missed] == expect, tag
+                        sig = stream_signature(16,
+                                               [int(t) for t in dt])
+                        if chunk not in base:
+                            base[chunk] = (dt.copy(), sig)
+                        else:
+                            bdt, bsig = base[chunk]
+                            assert np.array_equal(dt, bdt), tag
+                            assert sig == bsig, tag
+
+    def test_partial_misr_signatures_merge_identically(self, rng):
+        """Sharded partial signatures over each engine's detection
+        times combine to the same full-stream MISR signature."""
+        from repro.cluster.signature import (combine_partials,
+                                             shard_signature_partial,
+                                             stream_signature)
+
+        design = build_small_design("plain")
+        nl = elaborate(design.graph)
+        faults = enumerate_cell_faults(design.graph, nl)
+        raw = rng.integers(-2048, 2048, size=256)
+        sigs = set()
+        total = len(faults)
+        for engine in ("word", "event"):
+            dt = np.full(total, -1, dtype=np.int64)
+            gate_level_missed(nl, raw, faults, engine=engine,
+                              detect_times=dt)
+            words = [int(t) for t in dt]
+            full = stream_signature(16, words)
+            cut = total // 3
+            partials = [
+                shard_signature_partial(16, range(0, cut),
+                                        words[:cut], total),
+                shard_signature_partial(16, range(cut, total),
+                                        words[cut:], total),
+            ]
+            assert combine_partials(partials) == full
+            sigs.add(full)
+        assert len(sigs) == 1  # engines agree bit for bit
+
+
 class TestCachedEquivalence:
     def test_cached_run_is_identical_and_hits(self, rng, tmp_path):
         """gate_level_missed(cache=...) returns identical verdicts and

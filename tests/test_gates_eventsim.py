@@ -1,0 +1,258 @@
+"""Unit tests for the event-driven engine's building blocks.
+
+The randomized three-way equivalence suite
+(``test_gates_equivalence.py``) pins the event engine's *verdicts* to
+the reference oracle; these tests pin the pieces it is built from —
+super-gate fusion, recipe truth tables, the workspace buffer-reuse
+contract, and the frontier-empty whole-chunk skip — so a regression
+localizes to the broken layer instead of surfacing as a distant
+verdict mismatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gates import (
+    elaborate,
+    enumerate_cell_faults,
+    fault_parallel_reference,
+    fused_program,
+    gate_level_missed,
+    gate_level_missed_reference,
+)
+from repro.gates.compiled import (
+    ConeWorkspace,
+    compiled_program,
+    golden_net_waves,
+)
+from repro.gates.eventsim import (
+    MAX_FUSE_DEPTH,
+    MAX_FUSE_INPUTS,
+    MAX_FUSE_MEMBERS,
+    fuse_program,
+    recipe_truth_table,
+)
+from repro.gates.fault_parallel import _grade_cone_batch
+from repro.gates.gatesim import pack_input_bits
+from repro.telemetry import Telemetry, set_telemetry
+
+from helpers import SMALL_COEFSETS, build_small_design
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(20260807)
+
+
+class TestRecipeTruthTable:
+    @pytest.mark.parametrize("kind,fn", [
+        ("xor", lambda a, b: a ^ b),
+        ("and", lambda a, b: a & b),
+        ("or", lambda a, b: a | b),
+    ])
+    def test_two_input_primitives(self, kind, fn):
+        table = recipe_truth_table(((kind, 0, 1),), 2)
+        for m in range(4):
+            a, b = m & 1, (m >> 1) & 1
+            assert (table >> m) & 1 == fn(a, b), (kind, m)
+
+    def test_one_input_primitives(self):
+        assert recipe_truth_table((("not", 0, 0),), 1) == 0b01
+        assert recipe_truth_table((("buf", 0, 0),), 1) == 0b10
+
+    def test_nested_members_and_negative_refs(self):
+        # member 0 = a & b, member 1 = m0 ^ c  ->  (a & b) ^ c
+        recipe = (("and", 0, 1), ("xor", -1, 2))
+        table = recipe_truth_table(recipe, 3)
+        for m in range(8):
+            a, b, c = m & 1, (m >> 1) & 1, (m >> 2) & 1
+            assert (table >> m) & 1 == ((a & b) ^ c), m
+
+    def test_sequential_and_oversized_recipes_have_no_table(self):
+        assert recipe_truth_table((("dff", 0, 0),), 1) == -1
+        wide = tuple(("or", i, i + 1)
+                     for i in range(MAX_FUSE_INPUTS))
+        assert recipe_truth_table(wide, MAX_FUSE_INPUTS + 1) == -1
+
+
+class TestFusion:
+    @pytest.mark.parametrize("key", sorted(SMALL_COEFSETS))
+    def test_fusion_invariants(self, key):
+        design = build_small_design(key)
+        prog = compiled_program(elaborate(design.graph))
+        fused = fuse_program(prog)
+        stats = fused.stats
+        assert stats["fused_levels"] <= stats["orig_levels"]
+        assert stats["levels_fused"] == (stats["orig_levels"]
+                                         - stats["fused_levels"])
+        assert fused.n_levels == stats["fused_levels"]
+        assert fused.unit_count() == stats["units"]
+        assert stats["units"] + stats["gates_absorbed"] == stats["ops"]
+        # Fusion must actually bite on these multiplier-heavy designs.
+        assert stats["super_gates"] > 0
+        assert stats["levels_fused"] > 0
+
+    @pytest.mark.parametrize("key", sorted(SMALL_COEFSETS)[:2])
+    def test_groups_respect_budgets_and_tables(self, key):
+        design = build_small_design(key)
+        prog = compiled_program(elaborate(design.graph))
+        fused = fuse_program(prog)
+        seen_outs = set()
+        for groups in fused.levels:
+            for g in groups:
+                assert g.n_ext <= MAX_FUSE_INPUTS
+                assert g.n_members <= MAX_FUSE_MEMBERS
+                assert g.ext.shape == (len(g.out), g.n_ext)
+                # External slots of one unit are distinct nets.
+                for row in g.ext:
+                    assert len(set(row.tolist())) == g.n_ext
+                if not g.is_dff:
+                    assert g.table == recipe_truth_table(g.recipe,
+                                                         g.n_ext)
+                for net in g.out.tolist():
+                    assert net not in seen_outs  # single driver
+                    seen_outs.add(net)
+        # Every original combinational gate is locatable for pin-fault
+        # injection, and every unit output for stuck-at injection.
+        assert len(fused.gate_loc) + len(
+            [1 for gs in fused.levels for g in gs if g.is_dff
+             for _ in g.out]) == fused.stats["ops"]
+        assert len(fused.out_loc) == fused.unit_count()
+
+    def test_fused_program_memoizes_on_program(self):
+        design = build_small_design("plain")
+        prog = compiled_program(elaborate(design.graph))
+        assert fused_program(prog) is fused_program(prog)
+
+
+def _batch_setup(key, rng, n_vectors=160):
+    design = build_small_design(key)
+    nl = elaborate(design.graph)
+    prog = compiled_program(nl)
+    raw = rng.integers(-2048, 2048, size=n_vectors)
+    waves = golden_net_waves(prog, pack_input_bits(raw,
+                                                   len(nl.input_bits)))
+    from repro.gates.compiled import expand_lane_waves
+
+    lanes = expand_lane_waves(waves)
+    faults = [f.netlist_fault
+              for f in enumerate_cell_faults(design.graph, nl)]
+    return nl, prog, raw, lanes, faults
+
+
+def _ref_verdicts(nl, raw, batch):
+    """Reference verdicts for arbitrarily large batches (64 per pass)."""
+    parts = [fault_parallel_reference(nl, raw, batch[i:i + 64])
+             for i in range(0, len(batch), 64)]
+    return np.concatenate(parts)
+
+
+class TestWorkspaceReuse:
+    def test_shrink_then_grow_buffers(self):
+        ws = ConeWorkspace()
+        big = ws.get("x", 8, 4)
+        big.fill(7)
+        small = ws.get("x", 2, 2)
+        # Shrinking re-slices the same persistent buffer ...
+        assert np.shares_memory(big, small)
+        assert small.shape == (2, 2)
+        grown = ws.get("x", 16, 16)
+        # ... while growing allocates fresh capacity of the right size.
+        assert grown.shape == (16, 16)
+        assert ws.get("x", 16, 16).size == 256
+
+    def test_shared_workspace_across_batch_shapes(self, rng):
+        """One workspace, batches that shrink then grow: verdicts match
+        the reference — no stale rows leak between cone builds."""
+        nl, prog, raw, lanes, faults = _batch_setup("plain", rng)
+        ws = ConeWorkspace()
+        # Large batch (wide buffers), then tiny (shrunk views), then
+        # large again (possibly regrown) — every verdict stays exact.
+        windows = [faults[:128], faults[5:9], faults[:128],
+                   faults[40:44], faults[64:192]]
+        for i, batch in enumerate(windows):
+            got, _stats = _grade_cone_batch(prog, lanes, batch, 64, ws,
+                                            engine="event")
+            expect = _ref_verdicts(nl, raw, batch)
+            assert np.array_equal(got, expect), i
+
+    def test_word_engine_shares_the_same_contract(self, rng):
+        nl, prog, raw, lanes, faults = _batch_setup("with_zero", rng)
+        ws = ConeWorkspace()
+        for i, batch in enumerate([faults[:96], faults[3:7],
+                                   faults[:96]]):
+            got, _stats = _grade_cone_batch(prog, lanes, batch, 64, ws,
+                                            engine="word")
+            expect = _ref_verdicts(nl, raw, batch)
+            assert np.array_equal(got, expect), i
+
+
+class TestFrontierSkip:
+    def test_unexcited_faults_skip_whole_chunks(self, rng):
+        """Stuck-ats that agree with a constant stimulus never excite:
+        the event cone proves chunks golden and skips them."""
+        design = build_small_design("plain")
+        nl = elaborate(design.graph)
+        prog = compiled_program(nl)
+        raw = np.zeros(256, dtype=np.int64)
+        waves = golden_net_waves(
+            prog, pack_input_bits(raw, len(nl.input_bits)))
+        from repro.gates.compiled import expand_lane_waves
+
+        lanes = expand_lane_waves(waves)
+        all_faults = [f.netlist_fault
+                      for f in enumerate_cell_faults(design.graph, nl)]
+        # Stuck-at-0 on nets that are constant 0 under the all-zero
+        # stimulus: provably never excited, so every chunk's frontier
+        # is empty and the cone must skip it outright.
+        quiet = {n for n in range(waves.shape[0]) if not waves[n].any()}
+        batch = [f for f in all_faults
+                 if f.lines[0] == "net" and not f.value
+                 and int(f.lines[1]) in quiet][:64]
+        assert len(batch) >= 8
+        got, stats = _grade_cone_batch(prog, lanes, batch, 64,
+                                       ConeWorkspace(), engine="event",
+                                       dense_hint=False)
+        expect = _ref_verdicts(nl, raw, batch)
+        assert np.array_equal(got, expect)
+        assert not got.any()
+        assert stats["words_skipped"] > 0
+
+    def test_missed_list_stays_input_ordered(self, rng):
+        """The early-exit/skip paths scatter verdicts back by index:
+        missed lists preserve enumeration order under any scheduler."""
+        from repro.schedule import make_scheduler
+
+        design = build_small_design("single_digit")
+        nl = elaborate(design.graph)
+        faults = enumerate_cell_faults(design.graph, nl)
+        raw = np.zeros(200, dtype=np.int64)  # skip-heavy stimulus
+        expect_keys = [(f.node_id, f.bit, f.cell_fault)
+                       for f in gate_level_missed_reference(nl, raw,
+                                                            faults)]
+        for sched in (None, make_scheduler("random")):
+            missed = gate_level_missed(nl, raw, faults, engine="event",
+                                       scheduler=sched)
+            got_keys = [(f.node_id, f.bit, f.cell_fault)
+                        for f in missed]
+            assert got_keys == expect_keys
+            # Input order, not schedule order: positions ascend.
+            pos = {(f.node_id, f.bit, f.cell_fault): i
+                   for i, f in enumerate(faults)}
+            idx = [pos[k] for k in got_keys]
+            assert idx == sorted(idx)
+
+    def test_telemetry_counters_surface(self, rng):
+        design = build_small_design("plain")
+        nl = elaborate(design.graph)
+        faults = enumerate_cell_faults(design.graph, nl)
+        raw = rng.integers(-2048, 2048, size=128)
+        tel = Telemetry()
+        previous = set_telemetry(tel)
+        try:
+            gate_level_missed(nl, raw, faults, engine="event")
+        finally:
+            set_telemetry(previous)
+        assert tel.counter("gates.lut_fused_levels").value > 0
+        assert tel.counter("gates.frontier_nets").value > 0
+        assert tel.counter("gates.fault_batches").value > 0

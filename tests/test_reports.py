@@ -31,6 +31,26 @@ def _bench_gatesim():
             "speedup": 2.0, "identical": True}
 
 
+def _bench_gatesim_v2():
+    def engine(seconds, counters=False):
+        doc = {"seconds": seconds,
+               "faults_per_sec": 100.0 / seconds,
+               "phases": {"compile_seconds": 0.1, "golden_seconds": 0.1,
+                          "grade_seconds": seconds - 0.2}}
+        if counters:
+            doc["counters"] = {"gates.fault_batches": 3}
+        return doc
+
+    return {"schema": "repro-bench-gatesim/2",
+            "engines": {"event": engine(1.0, counters=True),
+                        "word": engine(2.0),
+                        "reference": engine(8.0)},
+            "speedups": {"event_vs_reference": 8.0,
+                         "word_vs_reference": 4.0,
+                         "event_vs_word": 2.0},
+            "identical": True}
+
+
 def _bench_schedule():
     entry = {"work_total": 100.0, "work_to_90": {"0.5": 10}}
     return {"schema": "repro-bench-schedule/1", "identical": True,
@@ -72,6 +92,7 @@ def _loadtest():
 _VALID = {
     "repro-bench-parallel/1": _bench_parallel,
     "repro-bench-gatesim/1": _bench_gatesim,
+    "repro-bench-gatesim/2": _bench_gatesim_v2,
     "repro-bench-schedule/1": _bench_schedule,
     "repro-cluster-sweep/1": _cluster_sweep,
     "repro-loadtest/1": _loadtest,
@@ -106,6 +127,24 @@ class TestRejections:
         doc = _bench_gatesim()
         doc["optimized"]["faults_per_sec"] = 0
         with pytest.raises(ReportSchemaError, match="positive"):
+            validate_report(doc)
+
+    def test_bench_gatesim_v2_missing_engine(self):
+        doc = _bench_gatesim_v2()
+        del doc["engines"]["word"]
+        with pytest.raises(ReportSchemaError, match="engines"):
+            validate_report(doc)
+
+    def test_bench_gatesim_v2_not_identical(self):
+        doc = _bench_gatesim_v2()
+        doc["identical"] = False
+        with pytest.raises(ReportSchemaError, match="identical"):
+            validate_report(doc)
+
+    def test_bench_gatesim_v2_missing_phases(self):
+        doc = _bench_gatesim_v2()
+        del doc["engines"]["event"]["phases"]
+        with pytest.raises(ReportSchemaError, match="phases"):
             validate_report(doc)
 
     def test_bench_schedule_wrong_orderings(self):
