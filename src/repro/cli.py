@@ -37,6 +37,12 @@ Commands
               ``validate`` (ledger integrity, or ``--schema FILE...``
               for report files), and ``watch`` (live progress of a
               service job over the SSE stream).
+``top``       Live fleet dashboard over ``/v1/fleet``: per-worker
+              throughput, shard progress, liveness and firing alerts
+              (``--once`` prints a single frame for scripts).
+``alerts``    ``check`` evaluates an SLO alert-rule file against a
+              live fleet endpoint, a saved fleet snapshot or a saved
+              loadtest report; nonzero exit on any breach.
 
 Global flags: ``--version``, ``-v/--verbose`` (repeatable),
 ``--profile`` (log a telemetry summary for any command) and
@@ -50,6 +56,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 from typing import List, Optional
 
@@ -387,9 +394,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable the on-disk artifact cache")
     serve.add_argument("--access-log", default=None, metavar="PATH",
                        help="append per-request JSON Lines records to PATH")
-    serve.add_argument("--events-keepalive", type=float, default=15.0,
+    serve.add_argument("--events-keepalive", type=float, default=None,
                        help="seconds between SSE keepalive comments on "
-                            "idle /v1/events streams")
+                            "idle /v1/events streams (default: "
+                            "$REPRO_SSE_KEEPALIVE or 15)")
+    serve.add_argument("--keepalive-secs", type=float, default=None,
+                       dest="keepalive_secs",
+                       help="alias for --events-keepalive")
+    serve.add_argument("--heartbeat-interval", type=float, default=2.0,
+                       help="seconds between fleet heartbeats "
+                            "(0 = disable the health plane; default 2)")
+    serve.add_argument("--heartbeat-to", default=None, metavar="URL",
+                       help="also push each heartbeat to this upstream "
+                            "serve endpoint, aggregating the fleet view "
+                            "there")
+    serve.add_argument("--alert-rules", default=None, metavar="PATH",
+                       help="JSON alert-rule file (repro-alert-rules/1) "
+                            "evaluated against the merged fleet metrics "
+                            "on every heartbeat")
+    serve.add_argument("--worker-id", default=None,
+                       help="stable worker name in heartbeats and fleet "
+                            "views (default host:port)")
     serve.add_argument("--trace-out", dest="serve_trace_out", default=None,
                        metavar="PATH",
                        help="stream the service's telemetry events "
@@ -451,6 +476,11 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--poll", type=float, default=2.0,
                          help="long-poll interval against workers "
                               "(default 2s)")
+    cluster.add_argument("--heartbeat-poll", type=float, default=0.0,
+                         help="poll each endpoint's /v1/fleet every N "
+                              "seconds; two consecutive failed polls "
+                              "mark it dead and pause dispatch to it "
+                              "(0 = off)")
     cluster.add_argument("--verify", action="store_true",
                          help="also grade single-node locally and fail "
                               "unless verdicts, checkpoints and MISR "
@@ -574,7 +604,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="FILE",
                        help="instead of the ledger, validate these JSON "
                             "report files against their embedded schema "
-                            "tags (bench/cluster/loadtest reports)")
+                            "tags (bench/cluster/loadtest/fleet "
+                            "reports)")
 
     r_watch = runs_sub.add_parser(
         "watch", help="render a service job's live progress")
@@ -590,6 +621,43 @@ def _build_parser() -> argparse.ArgumentParser:
                               "nonzero if the job is not terminal by "
                               "then, even while the stream stays alive "
                               "(0 = wait forever)")
+
+    top = sub.add_parser(
+        "top",
+        help="live fleet dashboard: per-worker throughput, progress, "
+             "liveness and firing alerts")
+    top.add_argument("--url", default="http://127.0.0.1:8337",
+                     help="service base URL "
+                          "(default http://127.0.0.1:8337)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh interval in seconds (default 2)")
+    top.add_argument("--duration", type=float, default=0.0,
+                     help="stop after N seconds (0 = until Ctrl-C)")
+    top.add_argument("--once", action="store_true",
+                     help="print one frame and exit (for scripts/CI)")
+
+    alerts = sub.add_parser(
+        "alerts",
+        help="evaluate SLO alert rules against fleet metrics")
+    alerts_sub = alerts.add_subparsers(dest="alerts_command",
+                                       required=True)
+    a_check = alerts_sub.add_parser(
+        "check",
+        help="exit nonzero when any rule in a rule file is breached")
+    a_check.add_argument("--rules", required=True, metavar="PATH",
+                         help="JSON alert-rule file "
+                              "(repro-alert-rules/1)")
+    source = a_check.add_mutually_exclusive_group(required=True)
+    source.add_argument("--url", default=None,
+                        help="evaluate against a live /v1/fleet "
+                             "endpoint")
+    source.add_argument("--snapshot", default=None, metavar="PATH",
+                        help="evaluate against a saved fleet snapshot "
+                             "JSON file")
+    source.add_argument("--loadtest", default=None, metavar="PATH",
+                        help="evaluate against a saved loadtest report "
+                             "(loadtest.* metric namespace)")
+    add_ledger_flags(a_check)
     return parser
 
 
@@ -1455,6 +1523,22 @@ def _cmd_recommend(args) -> int:
     return 0
 
 
+def _resolve_keepalive(args) -> float:
+    """SSE keepalive: flag wins, then $REPRO_SSE_KEEPALIVE, then 15s."""
+    for value in (args.keepalive_secs, args.events_keepalive):
+        if value is not None:
+            return value
+    env = os.environ.get("REPRO_SSE_KEEPALIVE", "").strip()
+    if env:
+        try:
+            return float(env)
+        except ValueError:
+            raise ReproError(
+                f"REPRO_SSE_KEEPALIVE must be a number of seconds, "
+                f"got {env!r}") from None
+    return 15.0
+
+
 def _cmd_serve(args) -> int:
     from .service import EvaluationService, ServiceConfig
     from .telemetry import RequestLogSink, get_telemetry
@@ -1467,7 +1551,10 @@ def _cmd_serve(args) -> int:
         cache_dir=args.cache_dir, no_cache=args.no_cache,
         access_log=args.access_log, trace_out=args.serve_trace_out,
         ledger_dir=args.ledger_dir, no_ledger=args.no_ledger,
-        events_keepalive=args.events_keepalive)
+        events_keepalive=_resolve_keepalive(args),
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_to=args.heartbeat_to, alert_rules=args.alert_rules,
+        worker_id=args.worker_id)
 
     telemetry = None
     if args.access_log:
@@ -1495,6 +1582,18 @@ def _runs_ledger(args) -> RunLedger:
 
 def _headline_metric(record) -> str:
     """The one number worth a column in ``runs list``."""
+    if record.get("kind") == "alert":
+        # Alert records are the incident history: the transition and
+        # rule name say more than any single number.
+        if "ok" in record:  # an `alerts check` gate record
+            verdict = "ok" if record["ok"] else "FAILED"
+            return (f"check {verdict} "
+                    f"({len(record.get('violations') or [])} violation(s))")
+        event = str(record.get("event", "alert")).split(".")[-1]
+        name = record.get("config", {}).get("alert", "?")
+        value = record.get("value")
+        detail = "" if value is None else f" (value {value:g})"
+        return f"{event}: {name}{detail}"
     for label, path in (("faults/s", "faults_per_sec"),
                         ("coverage", "coverage"),
                         ("speedup", "speedup"),
@@ -1741,6 +1840,7 @@ def _cmd_cluster(args) -> int:
         max_retries=args.max_retries,
         straggler_factor=args.straggler_factor,
         straggler_min=args.straggler_min, poll=args.poll,
+        heartbeat_poll=args.heartbeat_poll,
         verify=args.verify, cache=cache)
     doc = report.to_doc()
     merged = report.merged
@@ -1760,6 +1860,11 @@ def _cmd_cluster(args) -> int:
               f"shard(s), {worker['faults']} faults, "
               f"{worker['busy_seconds']:.2f}s busy, "
               f"{worker['failures']} failure(s)")
+    if report.endpoint_health is not None:
+        for ep, health in report.endpoint_health.items():
+            print(f"  health {ep}: {health['state']} "
+                  f"({health['polls']} poll(s), "
+                  f"{health['failures']} failed)")
     if report.verified is not None:
         print(f"  single-node verify: "
               f"{'identical' if report.verified else 'DIVERGED'}")
@@ -1854,6 +1959,187 @@ def _cmd_loadtest(args) -> int:
     return 0
 
 
+def _render_fleet(doc, url: str) -> str:
+    """One ``repro top`` frame from a ``/v1/fleet`` snapshot."""
+    from datetime import datetime, timezone
+
+    totals = doc.get("totals") or {}
+    generated = doc.get("generated_unix")
+    stamp = ""
+    if generated:
+        stamp = datetime.fromtimestamp(
+            float(generated),
+            tz=timezone.utc).strftime("%Y-%m-%d %H:%M:%SZ")
+    lines = [f"repro top — {url}  {stamp}".rstrip()]
+    lines.append(
+        f"workers {totals.get('workers', 0)}  "
+        f"({totals.get('live', 0)} live, "
+        f"{totals.get('suspect', 0)} suspect, "
+        f"{totals.get('dead', 0)} dead)   "
+        f"{totals.get('faults_per_sec', 0.0):,.0f} faults/s   "
+        f"queue {totals.get('queue_depth', 0)}   "
+        f"inflight {totals.get('inflight', 0)}")
+    for alert in doc.get("alerts") or []:
+        lines.append(f"ALERT [{alert.get('severity', '?')}] "
+                     f"{alert.get('alert', '?')}: {alert.get('rule', '')} "
+                     f"(value {alert.get('value')})")
+    lines.append("")
+    lines.append(f"{'WORKER':<26} {'STATE':<8} {'PID':>7} {'BEATS':>6} "
+                 f"{'FAULTS/S':>10} {'QUEUE':>6} {'MISS':>5}  PROGRESS")
+    for worker in doc.get("workers") or []:
+        progress = ""
+        for name, cursor in sorted((worker.get("progress") or {}).items()):
+            done = float(cursor.get("done", 0))
+            total = cursor.get("total")
+            if total:
+                progress = f"{name} {100.0 * done / float(total):5.1f}%"
+                break  # one stream with a known total says it best
+            progress = f"{name} {done:g}"
+        queue = worker.get("queue_depth")
+        queue = "-" if queue is None else str(queue)
+        lines.append(
+            f"{str(worker.get('worker', '?')):<26.26} "
+            f"{str(worker.get('state', '?')):<8} "
+            f"{worker.get('pid', 0):>7} "
+            f"{worker.get('beats', 0):>6} "
+            f"{worker.get('faults_per_sec', 0.0):>10,.0f} "
+            f"{queue:>6} "
+            f"{worker.get('missed_beats', 0.0):>5.1f}  "
+            f"{progress}".rstrip())
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from .service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url, client_id="repro-top",
+                           timeout=max(5.0, args.interval * 2))
+    is_tty = sys.stdout.isatty() and not args.once
+    deadline = (time.monotonic() + args.duration
+                if args.duration > 0 else None)
+    failures = 0
+    try:
+        while True:
+            try:
+                doc = client.fleet()
+            except (ServiceClientError, OSError) as exc:
+                failures += 1
+                if args.once or failures >= 3:
+                    print(f"repro: fleet endpoint unavailable at "
+                          f"{args.url}: {exc}", file=sys.stderr)
+                    return 1
+            else:
+                failures = 0
+                frame = _render_fleet(doc, args.url)
+                if is_tty:
+                    # Home + clear-to-end keeps the frame flicker-free.
+                    print(f"\x1b[H\x1b[2J{frame}", flush=True)
+                else:
+                    print(frame)
+                if args.once:
+                    return 0
+            if deadline is not None and time.monotonic() >= deadline:
+                return 0
+            time.sleep(max(args.interval, 0.2))
+    except KeyboardInterrupt:
+        if is_tty:
+            print()
+        return 0
+
+
+def _cmd_alerts_check(args) -> int:
+    import json
+    import time
+
+    from .telemetry.alerts import check_rules, load_rules
+
+    rules = load_rules(args.rules)
+    if args.url:
+        from .service.client import ServiceClient
+
+        source = args.url
+        doc = ServiceClient(args.url,
+                            client_id="repro-alerts-check").fleet()
+        values = _fleet_doc_values(doc)
+    elif args.snapshot:
+        source = args.snapshot
+        with open(args.snapshot, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        values = _fleet_doc_values(doc)
+    else:
+        source = args.loadtest
+        with open(args.loadtest, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        # Same keys a live LoadtestReport.alert_values() exposes, read
+        # from the saved report's aggregates.
+        values = {}
+        for key, path in (("loadtest.requests", "requests"),
+                          ("loadtest.completed", "completed"),
+                          ("loadtest.busy_rate", "busy_rate"),
+                          ("loadtest.error_rate", "error_rate"),
+                          ("loadtest.throughput_jobs_per_second",
+                           "throughput_jobs_per_second")):
+            if path in doc:
+                values[key] = float(doc[path])
+        lat = doc.get("latency_seconds") or {}
+        for q in ("p50", "p90", "p99", "mean", "max"):
+            if q in lat:
+                values[f"loadtest.{q}_seconds"] = float(lat[q])
+    violations = check_rules(rules, values)
+    for violation in violations:
+        print(f"alert check FAILED: {violation}", file=sys.stderr)
+    _ledger_append(args, build_record(
+        "alert",
+        config={"rules": args.rules, "source": source,
+                "rule_names": [r.name for r in rules]},
+        created_unix=time.time(),
+        git_sha=current_git_sha(),
+        extra={"violations": violations,
+               "checked": len(rules),
+               "ok": not violations}))
+    if violations:
+        return 1
+    print(f"alert check ok ({len(rules)} rule(s) against {source})")
+    return 0
+
+
+def _fleet_doc_values(doc) -> dict:
+    """Merged metric values reconstructed from a fleet snapshot doc.
+
+    A live ``/v1/fleet`` endpoint or a saved snapshot file carries the
+    per-worker documents, not the raw instrument snapshots, so the
+    check evaluates against the fleet-level totals plus every
+    per-worker rate summed by name — the same names the serve-side
+    :meth:`~repro.telemetry.fleet.FleetView.merged_values` exposes for
+    gauges, rates and ``fleet.*`` aggregates.
+    """
+    totals = doc.get("totals") or {}
+    values = {
+        "fleet.workers": float(totals.get("workers", 0)),
+        "fleet.workers.live": float(totals.get("live", 0)),
+        "fleet.workers.suspect": float(totals.get("suspect", 0)),
+        "fleet.workers.dead": float(totals.get("dead", 0)),
+        "fleet.faults_per_sec": float(totals.get("faults_per_sec", 0.0)),
+        "fleet.queue_depth": float(totals.get("queue_depth", 0)),
+    }
+    restarts = 0
+    for worker in doc.get("workers") or []:
+        restarts += int(worker.get("restarts", 0))
+        if worker.get("state") == "dead":
+            continue
+        for name, rate in (worker.get("rates") or {}).items():
+            key = f"{name}.rate" if not name.endswith(".rate") else name
+            values[key] = values.get(key, 0.0) + float(rate)
+    values["fleet.restarts"] = float(restarts)
+    return values
+
+
+def _cmd_alerts(args) -> int:
+    return {"check": _cmd_alerts_check}[args.alerts_command](args)
+
+
 def _cmd_artifacts(args) -> int:
     from .cache.server import ArtifactServer
     from .cache.store import default_cache_dir
@@ -1890,6 +2176,10 @@ def _dispatch(args, tel: Optional[Telemetry]) -> int:
         return _cmd_artifacts(args)
     if args.command == "runs":
         return _cmd_runs(args)
+    if args.command == "top":
+        return _cmd_top(args)
+    if args.command == "alerts":
+        return _cmd_alerts(args)
     if args.command == "recommend":
         return _cmd_recommend(args)
 

@@ -15,6 +15,12 @@ through the existing HTTP+JSON job protocol as a ``grade-shard`` job:
   least ``straggler_min``); the merge layer deduplicates by shard id and
   cross-checks that duplicate deliveries agree, so speculation can only
   add safety, never skew.
+* **Heartbeat liveness** — with ``heartbeat_poll`` set, a monitor
+  thread polls every endpoint's ``/v1/fleet`` snapshot; two consecutive
+  failed polls mark the endpoint ``dead`` and its dispatcher stops
+  pulling new shards (the retry/straggler machinery already covers the
+  inflight attempt) until a later poll sees it live again.  Per-endpoint
+  health lands in the report as ``endpoint_health``.
 * **One span tree, live progress** — each dispatch runs under a
   ``cluster.shard`` span carrying the coordinator's
   :class:`~repro.telemetry.TraceContext`; workers return their span
@@ -94,6 +100,7 @@ class ClusterReport:
     duplicates: int = 0
     elapsed_seconds: float = 0.0
     verified: Optional[bool] = None
+    endpoint_health: Optional[Dict[str, Dict[str, Any]]] = None
 
     def to_doc(self) -> Dict[str, Any]:
         doc: Dict[str, Any] = {
@@ -117,6 +124,9 @@ class ClusterReport:
         }
         if self.verified is not None:
             doc["verified"] = self.verified
+        if self.endpoint_health is not None:
+            doc["endpoint_health"] = {
+                ep: dict(h) for ep, h in self.endpoint_health.items()}
         return doc
 
 
@@ -154,6 +164,7 @@ class ClusterCoordinator:
         straggler_factor: float = 3.0,
         straggler_min: float = 60.0,
         poll: float = 2.0,
+        heartbeat_poll: float = 0.0,
         client_factory: Optional[Callable[[str], ServiceClient]] = None,
     ):
         if not endpoints:
@@ -161,6 +172,9 @@ class ClusterCoordinator:
         if max_retries < 0:
             raise ClusterError(f"max_retries must be >= 0, "
                                f"got {max_retries}")
+        if heartbeat_poll < 0:
+            raise ClusterError(f"heartbeat_poll must be >= 0, "
+                               f"got {heartbeat_poll}")
         self.endpoints = list(dict.fromkeys(endpoints))  # stable dedupe
         self.job_params = dict(job_params)
         self.total = total
@@ -173,6 +187,7 @@ class ClusterCoordinator:
         self.straggler_factor = straggler_factor
         self.straggler_min = straggler_min
         self.poll = poll
+        self.heartbeat_poll = heartbeat_poll
         self._client_factory = client_factory or (
             lambda ep: ServiceClient(
                 ep, client_id=f"cluster-{os.getpid()}",
@@ -196,6 +211,12 @@ class ClusterCoordinator:
         self.retries = 0
         self.speculated = 0
         self.duplicates = 0
+
+        self.endpoint_health: Dict[str, Dict[str, Any]] = {
+            ep: {"state": "live", "polls": 0, "failures": 0,
+                 "consecutive_failures": 0, "totals": None}
+            for ep in self.endpoints}
+        self._monitor_stop = threading.Event()
 
     # ------------------------------------------------------------------
     # Scheduling decisions (all under the lock)
@@ -238,6 +259,57 @@ class ClusterCoordinator:
     def _finished(self) -> bool:
         return (self._fatal is not None
                 or len(self._done_ids) == len(self._shards_by_id))
+
+    # ------------------------------------------------------------------
+    # Endpoint liveness (heartbeat poll)
+    # ------------------------------------------------------------------
+    def _endpoint_dead(self, endpoint: str) -> bool:
+        health = self.endpoint_health.get(endpoint)
+        return health is not None and health["state"] == "dead"
+
+    def _monitor(self) -> None:
+        """Poll each endpoint's ``/v1/fleet`` on a fixed cadence.
+
+        Mirrors the heartbeat liveness ladder: one failed poll marks an
+        endpoint ``suspect``, two consecutive failures mark it ``dead``
+        and its dispatcher stops pulling new shards until a later poll
+        succeeds again.  The already-inflight attempt on a dead endpoint
+        is left to the shard timeout / straggler machinery — liveness
+        only gates *new* dispatch, so a false positive can never lose
+        work.
+        """
+        clients = {ep: self._client_factory(ep) for ep in self.endpoints}
+        for client in clients.values():
+            client.timeout = max(2.0, self.heartbeat_poll)
+            client.retries = 0
+        while not self._monitor_stop.wait(self.heartbeat_poll):
+            for ep, client in clients.items():
+                health = self.endpoint_health[ep]
+                try:
+                    snapshot = client.fleet()
+                except (ServiceBusy, ServiceClientError, OSError,
+                        TimeoutError) as exc:
+                    health["polls"] += 1
+                    health["failures"] += 1
+                    health["consecutive_failures"] += 1
+                    state = ("dead" if health["consecutive_failures"] >= 2
+                             else "suspect")
+                    if state != health["state"]:
+                        logger.warning("cluster: endpoint %s is %s "
+                                       "(%d consecutive failed fleet "
+                                       "polls): %s", ep, state,
+                                       health["consecutive_failures"], exc)
+                        health["state"] = state
+                    continue
+                health["polls"] += 1
+                health["consecutive_failures"] = 0
+                health["totals"] = snapshot.get("totals")
+                if health["state"] != "live":
+                    logger.info("cluster: endpoint %s recovered (live)",
+                                ep)
+                    health["state"] = "live"
+                    with self._cond:
+                        self._cond.notify_all()
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -327,6 +399,11 @@ class ClusterCoordinator:
                     if self._finished():
                         self._cond.notify_all()
                         return
+                    if self._endpoint_dead(endpoint):
+                        # Dead per heartbeat poll: hold off new dispatch
+                        # until the monitor sees the endpoint again.
+                        self._cond.wait(timeout=1.0)
+                        continue
                     task = self._pick(endpoint)
                     if task is not None:
                         break
@@ -413,6 +490,12 @@ class ClusterCoordinator:
         with tel.span("cluster.sweep", shards=len(shards),
                       faults=self.total,
                       workers=len(self.endpoints)):
+            monitor = None
+            if self.heartbeat_poll > 0:
+                monitor = threading.Thread(target=self._monitor,
+                                           name="cluster-monitor",
+                                           daemon=True)
+                monitor.start()
             threads = [
                 threading.Thread(target=self._dispatcher, args=(ep,),
                                  name=f"cluster-{i}", daemon=True)
@@ -422,6 +505,9 @@ class ClusterCoordinator:
                 t.start()
             for t in threads:
                 t.join()
+            if monitor is not None:
+                self._monitor_stop.set()
+                monitor.join(timeout=max(5.0, self.heartbeat_poll * 2))
             # Graft every worker's span payload under the sweep span.
             if tel.enabled:
                 for payload in self._payloads:
@@ -443,6 +529,8 @@ class ClusterCoordinator:
             speculated=self.speculated,
             duplicates=self.duplicates,
             elapsed_seconds=time.monotonic() - t0,
+            endpoint_health=(self.endpoint_health
+                             if self.heartbeat_poll > 0 else None),
         )
 
 
@@ -466,6 +554,7 @@ def run_cluster_sweep(
     straggler_factor: float = 3.0,
     straggler_min: float = 60.0,
     poll: float = 2.0,
+    heartbeat_poll: float = 0.0,
     verify: bool = False,
     cache=None,
     client_factory: Optional[Callable[[str], ServiceClient]] = None,
@@ -535,6 +624,7 @@ def run_cluster_sweep(
         misr_width=misr_width, shard_timeout=shard_timeout,
         max_retries=max_retries, straggler_factor=straggler_factor,
         straggler_min=straggler_min, poll=poll,
+        heartbeat_poll=heartbeat_poll,
         client_factory=client_factory)
     report = coordinator.run(shards)
     if verify:

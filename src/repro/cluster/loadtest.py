@@ -139,6 +139,27 @@ class LoadtestReport:
                             f"threshold {min_completed}")
         return failures
 
+    def alert_values(self) -> Dict[str, float]:
+        """Flat metric dict for alert-rule evaluation.
+
+        Keys follow the ``loadtest.*`` namespace so the same rule files
+        that watch live fleet metrics can also gate a loadtest report
+        (``repro alerts check --loadtest report.json``).
+        """
+        lat = _latency_doc(self.latencies)
+        return {
+            "loadtest.requests": float(self.requests),
+            "loadtest.completed": float(self.completed),
+            "loadtest.busy_rate": self.busy_rate,
+            "loadtest.error_rate": self.error_rate,
+            "loadtest.throughput_jobs_per_second": self.throughput,
+            "loadtest.p50_seconds": lat["p50"],
+            "loadtest.p90_seconds": lat["p90"],
+            "loadtest.p99_seconds": lat["p99"],
+            "loadtest.mean_seconds": lat["mean"],
+            "loadtest.max_seconds": lat["max"],
+        }
+
     def to_doc(self) -> Dict[str, Any]:
         by_kind: Dict[str, Dict[str, Any]] = {}
         for sample in self.samples:

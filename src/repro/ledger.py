@@ -62,7 +62,7 @@ LEDGER_FILE = "ledger.jsonl"
 
 #: Run kinds the registry recognizes.
 RUN_KINDS = ("sweep", "bench-parallel", "bench-gates", "bench-schedule",
-             "profile", "service-job", "cluster-sweep", "loadtest")
+             "profile", "service-job", "cluster-sweep", "loadtest", "alert")
 
 _REQUIRED_FIELDS = ("schema", "id", "kind", "created_unix", "config",
                     "config_fingerprint")

@@ -184,8 +184,29 @@ def _check_loadtest(doc: Dict[str, Any]) -> None:
             f"requests = {doc['requests']}")
 
 
+def _check_fleet(doc: Dict[str, Any]) -> None:
+    _require(doc, ("generated_unix", "workers", "totals"), "fleet report")
+    totals = doc["totals"]
+    _require(totals, ("workers", "live", "suspect", "dead"),
+             "fleet report [totals]")
+    for worker in doc["workers"]:
+        _require(worker, ("worker", "state", "last_seen_unix", "pid"),
+                 "fleet report [workers]")
+        if worker["state"] not in ("live", "suspect", "dead"):
+            raise ReportSchemaError(
+                f"fleet report: worker {worker['worker']!r} has unknown "
+                f"state {worker['state']!r}")
+    counted = sum(int(totals[state]) for state in ("live", "suspect",
+                                                   "dead"))
+    if counted != totals["workers"]:
+        raise ReportSchemaError(
+            f"fleet report: live+suspect+dead = {counted} != workers = "
+            f"{totals['workers']}")
+
+
 #: schema tag -> structural validator.
 REPORT_SCHEMAS: Dict[str, Callable[[Dict[str, Any]], None]] = {
+    "repro-fleet/1": _check_fleet,
     "repro-bench-parallel/1": _check_bench_parallel,
     "repro-bench-gatesim/1": _check_bench_gatesim,
     "repro-bench-gatesim/2": _check_bench_gatesim_v2,

@@ -54,6 +54,11 @@ class EventBroker:
         self._seq = itertools.count(1)
         self.published = 0
         self.dropped = 0
+        #: Optional telemetry counter mirroring ``dropped`` so queue
+        #: overflow is visible on ``/metrics`` (the service installs
+        #: its ``service.events_dropped`` counter here at startup) —
+        #: silent drops would undermine SSE-based monitoring.
+        self.drop_counter: Optional[Any] = None
 
     def bind(self, loop: asyncio.AbstractEventLoop) -> None:
         """Attach the broker to the serving loop (once, at startup)."""
@@ -118,5 +123,7 @@ class EventBroker:
                     try:
                         queue.get_nowait()
                         self.dropped += 1
+                        if self.drop_counter is not None:
+                            self.drop_counter.add(1)
                     except asyncio.QueueEmpty:  # pragma: no cover - race
                         break

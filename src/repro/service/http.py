@@ -17,9 +17,17 @@ Routes
 ``GET    /v1/jobs/{id}/result`` the result document alone
 ``DELETE /v1/jobs/{id}``        cancel a queued job
 ``GET    /v1/events``           server-sent-events stream of job state
-                                transitions and live progress snapshots;
+                                transitions, live progress snapshots and
+                                ``fleet.*`` / ``alert.*`` health events;
                                 ``?job=ID`` filters to one job and ends
                                 the stream when that job finishes
+``GET    /v1/fleet``            live fleet health snapshot: every known
+                                worker's liveness, throughput, progress
+                                cursors and the currently-firing alerts
+                                (``repro-fleet/1``)
+``POST   /v1/fleet/heartbeat``  ingest one worker heartbeat
+                                (``repro-heartbeat/1``) — how downstream
+                                workers report into an aggregating serve
 ``GET    /healthz``             liveness (always 200 while the process runs)
 ``GET    /readyz``              readiness (503 while warming or draining)
 ``GET    /metrics``             telemetry counters/gauges/histograms; JSON by
@@ -32,7 +40,10 @@ Routes
 Error envelope: ``{"error": "...", "status": N}``; 429/503 responses
 carry a ``Retry-After`` header.  Every served request is emitted as a
 ``request`` telemetry event — the access log when a
-:class:`~repro.telemetry.sinks.RequestLogSink` is attached.
+:class:`~repro.telemetry.sinks.RequestLogSink` is attached — carrying
+``trace_id``/``span_id`` (the request span) and, where the route names
+one, ``job_id``, so access-log lines join against Chrome-trace exports
+and job ledger records.
 """
 
 from __future__ import annotations
@@ -45,7 +56,7 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from ..errors import ReproError, ServiceError
-from ..telemetry import get_telemetry
+from ..telemetry import TraceContext, get_telemetry
 from .events import sse_frame
 from .jobs import JobState
 
@@ -157,6 +168,8 @@ class HttpApi:
         client = None
         status = 500
         cache_state: Optional[str] = None
+        trace_ctx: Optional[TraceContext] = None
+        job_id: Optional[str] = None
         try:
             try:
                 method, target, headers, body = await self._read_request(
@@ -184,8 +197,17 @@ class HttpApi:
                 # concurrently served connections.
                 with get_telemetry().span("service.request", route=path,
                                           method=method):
+                    # Captured inside the span so the access-log line
+                    # carries the ids that join it to the trace export.
+                    trace_ctx = TraceContext.current()
                     status, payload, extra = await self._route(
                         method, path, query, headers, body)
+                m = _JOB_PATH.fullmatch(path)
+                if m is not None:
+                    job_id = m.group(1)
+                elif path == "/v1/jobs" and isinstance(payload, dict) \
+                        and payload.get("id"):
+                    job_id = str(payload["id"])
             except ServiceError as exc:
                 status, payload, extra = _error_reply(
                     exc.status, str(exc), exc.retry_after)
@@ -210,6 +232,12 @@ class HttpApi:
                     record["client"] = client
                 if cache_state:
                     record["cache"] = cache_state
+                if trace_ctx is not None:
+                    record["trace_id"] = trace_ctx.trace_id
+                    if trace_ctx.span_id is not None:
+                        record["span_id"] = trace_ctx.span_id
+                if job_id is not None:
+                    record["job_id"] = job_id
                 tel.event("request", **record)
                 tel.counter("service.requests").add(1)
                 tel.counter(f"service.requests.{status}").add(1)
@@ -362,6 +390,18 @@ class HttpApi:
         if path == "/v1/events":
             # GET is intercepted in handle() (streaming response).
             return _error_reply(405, f"{method} not allowed on {path}")
+        if path == "/v1/fleet":
+            if method != "GET":
+                return _error_reply(405, f"{method} not allowed on {path}")
+            return self.service.fleet_snapshot()
+        if path == "/v1/fleet/heartbeat":
+            if method != "POST":
+                return _error_reply(405, f"{method} not allowed on {path}")
+            try:
+                ack = self.service.ingest_heartbeat(self._json_body(body))
+            except ReproError as exc:
+                return _error_reply(400, str(exc))
+            return 200, ack, {}
         if path == "/v1/jobs":
             if method != "POST":
                 return _error_reply(405, f"{method} not allowed on {path}")

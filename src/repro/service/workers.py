@@ -327,6 +327,12 @@ class WorkerPool:
         self.jobs_failed = 0
         self.jobs_coalesced = 0
         self.batches = 0
+        #: Currently-running job id -> kind (fleet heartbeats report
+        #: these as the worker's inflight set).
+        self.running: Dict[str, str] = {}
+        #: Gate-engine tier of the most recent batch that named one —
+        #: the fleet view's per-worker "engine" column.
+        self.last_engine: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -359,6 +365,10 @@ class WorkerPool:
     @property
     def inflight(self) -> int:
         return len(self._inflight)
+
+    def inflight_jobs(self, limit: int = 16) -> List[str]:
+        """Ids of jobs running right now (bounded for heartbeat size)."""
+        return sorted(self.running)[:limit]
 
     # ------------------------------------------------------------------
     # Worker loop
@@ -396,6 +406,10 @@ class WorkerPool:
         for job in batch:
             job.state = JobState.RUNNING
             job.started = now
+            self.running[job.id] = job.kind
+            engine = (job.params or {}).get("engine")
+            if engine:
+                self.last_engine = str(engine)
             fut = self._inflight.get(job.cache_key)
             if fut is None and job.cache_key not in leader_futs:
                 leaders.append(job)
@@ -469,6 +483,7 @@ class WorkerPool:
         """Resolve ``job`` from ``fut`` when the computation lands."""
 
         def _finish(f: "asyncio.Future[Outcome]") -> None:
+            self.running.pop(job.id, None)
             if job.state.finished or f.cancelled():
                 return  # e.g. failed/cancelled by an abort() race
             status, value = f.result()

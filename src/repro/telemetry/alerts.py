@@ -1,0 +1,247 @@
+"""Declarative SLO alert rules over merged fleet metrics.
+
+A rule names a metric in the flat value map produced by
+:meth:`FleetView.merged_values
+<repro.telemetry.fleet.FleetView.merged_values>` (or any other flat
+``{name: number}`` source, e.g. a loadtest report), a comparison and a
+threshold::
+
+    {"schema": "repro-alert-rules/1",
+     "rules": [
+       {"name": "dead-workers", "metric": "fleet.workers.dead",
+        "op": ">=", "threshold": 1, "severity": "page",
+        "description": "a worker stopped heartbeating"},
+       {"name": "slow-requests", "metric": "service.request_seconds.p99",
+        "op": ">", "threshold": 2.0, "for_beats": 3}
+     ]}
+
+The :class:`AlertEngine` evaluates every rule on each heartbeat and
+keeps per-rule state, so a rule **fires** only after ``for_beats``
+consecutive breaches (burn-rate style debouncing) and **resolves** on
+the first clean evaluation — each transition is returned as an
+``alert.fired`` / ``alert.resolved`` event for the SSE stream and the
+run ledger.  :func:`check_rules` is the stateless one-shot variant
+behind ``repro alerts check``, the CLI/CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import operator
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+
+__all__ = ["ALERT_RULES_SCHEMA", "AlertError", "AlertRule", "AlertEngine",
+           "parse_rules", "load_rules", "check_rules"]
+
+ALERT_RULES_SCHEMA = "repro-alert-rules/1"
+
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+}
+
+_SEVERITIES = ("warn", "page")
+_MISSING = ("skip", "fire")
+
+
+class AlertError(ReproError):
+    """A malformed alert rule or rule file."""
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One threshold rule over one flat metric."""
+
+    name: str
+    metric: str
+    op: str
+    threshold: float
+    for_beats: int = 1
+    severity: str = "warn"
+    description: str = ""
+    #: What a missing metric means: ``skip`` (no data, no verdict) or
+    #: ``fire`` (absence itself is the failure, e.g. a faults/s floor
+    #: while nothing is grading at all).
+    missing: str = "skip"
+
+    def breached(self, values: Dict[str, float]) -> Optional[bool]:
+        """``True``/``False`` verdict, or ``None`` when skipped."""
+        value = values.get(self.metric)
+        if value is None:
+            return None if self.missing == "skip" else True
+        return _OPS[self.op](float(value), self.threshold)
+
+    def describe(self) -> str:
+        return f"{self.metric} {self.op} {self.threshold:g}"
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {"name": self.name, "metric": self.metric, "op": self.op,
+                "threshold": self.threshold, "for_beats": self.for_beats,
+                "severity": self.severity,
+                "description": self.description, "missing": self.missing}
+
+
+def parse_rules(doc: Any) -> List[AlertRule]:
+    """Validate a rule document into :class:`AlertRule` objects."""
+    if not isinstance(doc, dict):
+        raise AlertError("alert rules must be a JSON object")
+    schema = doc.get("schema", ALERT_RULES_SCHEMA)
+    if schema != ALERT_RULES_SCHEMA:
+        raise AlertError(f"unknown alert rules schema {schema!r}; "
+                         f"expected {ALERT_RULES_SCHEMA}")
+    raw = doc.get("rules")
+    if not isinstance(raw, list) or not raw:
+        raise AlertError("alert rules need a non-empty 'rules' list")
+    rules: List[AlertRule] = []
+    seen: set = set()
+    for i, entry in enumerate(raw):
+        where = f"rule #{i + 1}"
+        if not isinstance(entry, dict):
+            raise AlertError(f"{where}: must be an object")
+        for key in ("name", "metric", "op", "threshold"):
+            if key not in entry:
+                raise AlertError(f"{where}: missing {key!r}")
+        name = str(entry["name"])
+        where = f"rule {name!r}"
+        if name in seen:
+            raise AlertError(f"{where}: duplicate rule name")
+        seen.add(name)
+        op = str(entry["op"])
+        if op not in _OPS:
+            raise AlertError(f"{where}: unknown op {op!r}; use one of "
+                             f"{', '.join(sorted(_OPS))}")
+        try:
+            threshold = float(entry["threshold"])
+        except (TypeError, ValueError):
+            raise AlertError(f"{where}: threshold must be a number, got "
+                             f"{entry['threshold']!r}") from None
+        for_beats = int(entry.get("for_beats", 1))
+        if for_beats < 1:
+            raise AlertError(f"{where}: for_beats must be >= 1")
+        severity = str(entry.get("severity", "warn"))
+        if severity not in _SEVERITIES:
+            raise AlertError(f"{where}: severity must be one of "
+                             f"{', '.join(_SEVERITIES)}")
+        missing = str(entry.get("missing", "skip"))
+        if missing not in _MISSING:
+            raise AlertError(f"{where}: missing must be one of "
+                             f"{', '.join(_MISSING)}")
+        rules.append(AlertRule(
+            name=name, metric=str(entry["metric"]), op=op,
+            threshold=threshold, for_beats=for_beats, severity=severity,
+            description=str(entry.get("description", "")),
+            missing=missing))
+    return rules
+
+
+def load_rules(path: str) -> List[AlertRule]:
+    """Load and validate a rule file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise AlertError(f"cannot read alert rules {path}: {exc}") \
+            from None
+    except json.JSONDecodeError as exc:
+        raise AlertError(f"{path}: not valid JSON: {exc}") from None
+    try:
+        return parse_rules(doc)
+    except AlertError as exc:
+        raise AlertError(f"{path}: {exc}") from None
+
+
+@dataclass
+class _RuleState:
+    breaches: int = 0
+    firing: bool = False
+    fired_unix: Optional[float] = None
+    value: Optional[float] = None
+
+
+class AlertEngine:
+    """Stateful evaluator: one state machine per rule."""
+
+    def __init__(self, rules: Optional[List[AlertRule]] = None):
+        self.rules = list(rules or [])
+        self._states: Dict[str, _RuleState] = {
+            rule.name: _RuleState() for rule in self.rules}
+        self.evaluations = 0
+        self.fired_total = 0
+
+    def evaluate(self, values: Dict[str, float],
+                 now: Optional[float] = None
+                 ) -> List[Tuple[str, Dict[str, Any]]]:
+        """One evaluation pass; returns fired/resolved transitions."""
+        now = time.time() if now is None else now
+        self.evaluations += 1
+        events: List[Tuple[str, Dict[str, Any]]] = []
+        for rule in self.rules:
+            state = self._states[rule.name]
+            verdict = rule.breached(values)
+            state.value = values.get(rule.metric)
+            if verdict is None:
+                continue  # no data: hold current state
+            if verdict:
+                state.breaches += 1
+                if not state.firing and state.breaches >= rule.for_beats:
+                    state.firing = True
+                    state.fired_unix = now
+                    self.fired_total += 1
+                    events.append(("alert.fired", self._doc(rule, state)))
+            else:
+                state.breaches = 0
+                if state.firing:
+                    state.firing = False
+                    doc = self._doc(rule, state)
+                    doc["fired_seconds"] = (
+                        None if state.fired_unix is None
+                        else max(0.0, now - state.fired_unix))
+                    state.fired_unix = None
+                    events.append(("alert.resolved", doc))
+        return events
+
+    def _doc(self, rule: AlertRule, state: _RuleState) -> Dict[str, Any]:
+        return {
+            "alert": rule.name,
+            "severity": rule.severity,
+            "rule": rule.describe(),
+            "description": rule.description,
+            "value": state.value,
+            "threshold": rule.threshold,
+            "fired_unix": state.fired_unix,
+        }
+
+    def active(self) -> List[Dict[str, Any]]:
+        """Currently-firing alerts, for the fleet snapshot."""
+        return [self._doc(rule, self._states[rule.name])
+                for rule in self.rules
+                if self._states[rule.name].firing]
+
+
+def check_rules(rules: List[AlertRule],
+                values: Dict[str, float]) -> List[str]:
+    """Stateless one-shot gate: violation strings, empty on pass.
+
+    Ignores ``for_beats`` debouncing — a CI gate sees one sample, so a
+    breach in that sample is a failure.  Rules whose metric is absent
+    follow their ``missing`` policy.
+    """
+    failures: List[str] = []
+    for rule in rules:
+        verdict = rule.breached(values)
+        if verdict is None:
+            continue
+        if verdict:
+            value = values.get(rule.metric)
+            shown = "no data" if value is None else f"{value:g}"
+            failures.append(
+                f"{rule.name}: {rule.describe()} breached "
+                f"(value {shown})"
+                + (f" — {rule.description}" if rule.description else ""))
+    return failures

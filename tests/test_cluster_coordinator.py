@@ -37,6 +37,7 @@ class TestFleetSweep:
         assert report.merged.total == 600
         doc = report.to_doc()
         assert doc["signature"].startswith("0x")
+        assert "endpoint_health" not in doc  # heartbeat_poll off
         assert sum(w["shards"] for w in doc["workers"]) >= report.shards
         assert sum(t["faults"] for t in doc["shard_timings"]
                    if not t["duplicate"]) == 600
@@ -74,6 +75,31 @@ class TestFleetSweep:
         assert tallies[DEAD_ENDPOINT]["failures"] > 0
         assert tallies[a.base_url]["shards"] == report.shards
         assert report.retries > 0
+
+    def test_heartbeat_monitor_marks_dead_endpoint(self, fleet):
+        a, _b = fleet
+        report = run_cluster_sweep(
+            [DEAD_ENDPOINT, a.base_url], max_retries=8,
+            heartbeat_poll=0.2, **SWEEP)
+        doc = report.to_doc()
+        health = doc["endpoint_health"]
+        # Two consecutive refused polls: the dead endpoint decays and
+        # its dispatcher stops pulling shards; the live one keeps the
+        # last fleet snapshot totals from its own /v1/fleet.
+        assert health[DEAD_ENDPOINT]["state"] == "dead"
+        assert health[DEAD_ENDPOINT]["consecutive_failures"] >= 2
+        assert health[a.base_url]["state"] == "live"
+        assert health[a.base_url]["polls"] >= 1
+        assert health[a.base_url]["totals"] is not None
+        assert report.merged.total == 600
+
+    def test_heartbeat_poll_off_omits_endpoint_health(self):
+        coord = ClusterCoordinator([DEAD_ENDPOINT], {}, total=10,
+                                   test_length=16)
+        assert coord.heartbeat_poll == 0.0
+        with pytest.raises(ClusterError, match="heartbeat_poll"):
+            ClusterCoordinator([DEAD_ENDPOINT], {}, total=10,
+                               test_length=16, heartbeat_poll=-1.0)
 
     def test_all_workers_dead_is_fatal(self):
         with pytest.raises(ClusterError, match="failed after"):

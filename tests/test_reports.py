@@ -89,7 +89,23 @@ def _loadtest():
     }
 
 
+def _fleet():
+    return {
+        "schema": "repro-fleet/1",
+        "generated_unix": 1700000000.0,
+        "beats": 12,
+        "workers": [
+            {"worker": "w1", "state": "live", "pid": 100,
+             "last_seen_unix": 1700000000.0},
+            {"worker": "w2", "state": "dead", "pid": 200,
+             "last_seen_unix": 1699999990.0},
+        ],
+        "totals": {"workers": 2, "live": 1, "suspect": 0, "dead": 1},
+    }
+
+
 _VALID = {
+    "repro-fleet/1": _fleet,
     "repro-bench-parallel/1": _bench_parallel,
     "repro-bench-gatesim/1": _bench_gatesim,
     "repro-bench-gatesim/2": _bench_gatesim_v2,
@@ -175,6 +191,18 @@ class TestRejections:
         doc = _loadtest()
         doc["completed"] = 5
         with pytest.raises(ReportSchemaError, match="requests"):
+            validate_report(doc)
+
+    def test_fleet_unknown_state(self):
+        doc = _fleet()
+        doc["workers"][0]["state"] = "zombie"
+        with pytest.raises(ReportSchemaError, match="unknown state"):
+            validate_report(doc)
+
+    def test_fleet_bad_accounting(self):
+        doc = _fleet()
+        doc["totals"]["live"] = 2
+        with pytest.raises(ReportSchemaError, match="workers"):
             validate_report(doc)
 
 
